@@ -1,0 +1,104 @@
+// Command cosee reproduces the paper's Fig. 10 experiment from the
+// command line: the seat-electronic-box ΔT-versus-power curves without
+// LHP, with LHP horizontal and with LHP at a chosen tilt, plus the
+// headline capability summary.
+//
+// Usage:
+//
+//	cosee [-structure Al6061|CarbonComposite] [-tilt 22] [-pmax 110] [-step 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aeropack/internal/cosee"
+	"aeropack/internal/materials"
+	"aeropack/internal/report"
+)
+
+func main() {
+	structure := flag.String("structure", "Al6061", "seat structural material (Al6061 or CarbonComposite)")
+	tilt := flag.Float64("tilt", 22, "tilt angle for the third configuration, degrees")
+	pmax := flag.Float64("pmax", 110, "maximum SEB power for the sweep, W")
+	step := flag.Float64("step", 10, "power step, W")
+	csv := flag.Bool("csv", false, "emit the sweep as CSV (power, dT per configuration) for plotting")
+	flag.Parse()
+
+	mat, err := materials.Get(*structure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *pmax <= 0 || *step <= 0 {
+		fmt.Fprintln(os.Stderr, "cosee: pmax and step must be positive")
+		os.Exit(1)
+	}
+	var powers []float64
+	for p := *step; p <= *pmax+1e-9; p += *step {
+		powers = append(powers, p)
+	}
+
+	configs := []struct {
+		name string
+		cfg  cosee.Config
+	}{
+		{"without LHP", cosee.Config{Structure: mat}},
+		{"with LHP (horizontal)", cosee.Config{UseLHP: true, Structure: mat}},
+		{fmt.Sprintf("with LHP (%.0f° tilt)", *tilt), cosee.Config{UseLHP: true, TiltDeg: *tilt, Structure: mat}},
+	}
+	if *csv {
+		fmt.Printf("power_w")
+		for _, c := range configs {
+			fmt.Printf(",dT_%s", strings.ReplaceAll(c.name, " ", "_"))
+		}
+		fmt.Println()
+		series := make([][]cosee.Point, len(configs))
+		for i, c := range configs {
+			pts, err := c.cfg.Sweep(powers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			series[i] = pts
+		}
+		for row := range powers {
+			fmt.Printf("%.1f", powers[row])
+			for i := range configs {
+				fmt.Printf(",%.3f", series[i][row].DeltaTK)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, c := range configs {
+		pts, err := c.cfg.Sweep(powers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := &report.Series{Name: "Fig. 10 — " + c.name,
+			XLabel: "SEB power (W)", YLabel: "Tpcb − Tair (K)"}
+		for _, p := range pts {
+			s.X = append(s.X, p.PowerW)
+			s.Y = append(s.Y, p.DeltaTK)
+		}
+		fmt.Print(s.String())
+	}
+
+	sum, err := cosee.RunFig10(mat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Headline summary ("+mat.Name+")", "quantity", "value")
+	t.AddRow("capability without LHP @ΔT=60K", fmt.Sprintf("%.1f W", sum.CapabilityNoLHP))
+	t.AddRow("capability with LHP @ΔT=60K", fmt.Sprintf("%.1f W", sum.CapabilityLHP))
+	t.AddRow("capability at tilt", fmt.Sprintf("%.1f W", sum.CapabilityTilt))
+	t.AddRow("improvement", fmt.Sprintf("%+.0f%%", sum.ImprovementPct))
+	t.AddRow("PCB cooling at 40 W", fmt.Sprintf("%.1f K", sum.CoolingAt40W))
+	t.AddRow("LHP power at 100 W SEB", fmt.Sprintf("%.1f W", sum.LHPPowerAt100W))
+	fmt.Print(t.String())
+}

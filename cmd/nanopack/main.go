@@ -1,0 +1,84 @@
+// Command nanopack prints the NANOPACK virtual-laboratory report: the
+// adhesive development results, the product-versus-objective table, the
+// HNC bond-line study and the D5470 tester validation.
+//
+// Usage:
+//
+//	nanopack [-pressure 2e5] [-shots 60] [-seed 11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aeropack/internal/nanopack"
+	"aeropack/internal/report"
+)
+
+func main() {
+	pressure := flag.Float64("pressure", 2e5, "assembly pressure, Pa")
+	shots := flag.Int("shots", 60, "D5470 campaign shots per specimen")
+	seed := flag.Int64("seed", 11, "virtual tester noise seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	flake, err := nanopack.DesignSilverAdhesive("flake", 6.0)
+	if err != nil {
+		fail(err)
+	}
+	sphere, err := nanopack.DesignSilverAdhesive("sphere", 9.5)
+	if err != nil {
+		fail(err)
+	}
+	t := report.NewTable("Adhesive development (EMT design + D5470 verification)",
+		"product", "filler", "bulk k", "apparent k", "electrical", "shear")
+	for _, d := range []*nanopack.AdhesiveDesign{flake, sphere} {
+		t.AddRow(d.Name,
+			fmt.Sprintf("%.0f%%", d.FillerFraction*100),
+			fmt.Sprintf("%.1f W/m·K", d.PredictedK),
+			fmt.Sprintf("%.1f W/m·K", d.MeasuredK),
+			fmt.Sprintf("%.0e Ω·cm", d.ElectricalOhmCm),
+			fmt.Sprintf("%.0f MPa", d.ShearMPa))
+	}
+	fmt.Print(t.String())
+
+	rows, err := nanopack.ResultsToDate(*pressure)
+	if err != nil {
+		fail(err)
+	}
+	obj := nanopack.ProjectObjectives()
+	t2 := report.NewTable(fmt.Sprintf("Products vs objectives (k≥%.0f, R<%.0f K·mm²/W, BLT<%.0f µm)",
+		obj.ConductivityWmK, obj.ResistanceKmm2W, obj.BondLineUm),
+		"product", "k W/m·K", "R K·mm²/W", "BLT µm", "meets k", "meets R", "meets BLT")
+	for _, r := range rows {
+		t2.AddRow(r.Product, r.KWmK, r.RKmm2W, r.BLTUm, r.MeetsK, r.MeetsR, r.MeetsBLT)
+	}
+	fmt.Print(t2.String())
+
+	hnc, err := nanopack.EvaluateHNC(*pressure)
+	if err != nil {
+		fail(err)
+	}
+	t3 := report.NewTable("HNC surface structuring", "TIM", "BLT reduction")
+	for i, m := range hnc.Materials {
+		t3.AddRow(m, fmt.Sprintf("%.0f%%", hnc.Reductions[i]*100))
+	}
+	t3.AddRow("majority > 20%?", fmt.Sprintf("%v", hnc.MajorityHolds))
+	fmt.Print(t3.String())
+
+	v, err := nanopack.ValidateTester(*seed, *shots)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(report.Checks("D5470 tester validation", []report.CheckRow{
+		{Quantity: "resistance accuracy", Paper: "±1 K·mm²/W",
+			Measured: fmt.Sprintf("±%.2f K·mm²/W", v.MaxAbsErrKmm2W), Pass: v.MeetsAccuracy},
+		{Quantity: "thickness accuracy", Paper: "±2 µm",
+			Measured: fmt.Sprintf("±%.2f µm", v.BLTStdUm), Pass: v.MeetsThickness},
+	}))
+}

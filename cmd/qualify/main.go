@@ -1,0 +1,164 @@
+// Command qualify runs the virtual environmental qualification campaign
+// (the paper's §IV.A test block: 9 g acceleration, DO-160 C1 random
+// vibration, climatic, thermal shock — plus the extended shock-pulse and
+// sine-sweep pair) on an article described in JSON.
+//
+// Usage:
+//
+//	qualify -demo > article.json      # print an editable example
+//	qualify -article article.json
+//	qualify -article article.json -extended
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"aeropack/internal/cosee"
+	"aeropack/internal/envtest"
+	"aeropack/internal/report"
+)
+
+// articleFile is the JSON schema of a unit under test.  The thermal model
+// is selected by name: "seb-lhp" and "seb-bare" bind to the COSEE models;
+// "linear" uses a fixed thermal resistance.
+type articleFile struct {
+	Name        string  `json:"name"`
+	MassKg      float64 `json:"mass_kg"`
+	MountFnHz   float64 `json:"mount_fn_hz"`
+	DampingZeta float64 `json:"damping_zeta"`
+	MountAreaM2 float64 `json:"mount_area_m2"`
+	MountYield  float64 `json:"mount_yield_pa"`
+
+	BoardSpanMM float64 `json:"board_span_mm"`
+	BoardThkMM  float64 `json:"board_thk_mm"`
+	CompLenMM   float64 `json:"comp_len_mm"`
+	FatigueExpB float64 `json:"fatigue_exp_b"`
+
+	PowerW       float64 `json:"power_w"`
+	ThermalModel string  `json:"thermal_model"` // seb-lhp | seb-bare | linear
+	ThetaKW      float64 `json:"theta_k_per_w"` // for linear
+	MaxPointC    float64 `json:"max_point_c"`
+	MinStartC    float64 `json:"min_start_c"`
+
+	ShockCycles   int     `json:"shock_cycles"`
+	JointDTFactor float64 `json:"joint_dt_factor"`
+}
+
+const demoArticle = `{
+  "name": "SEB+seat (HP/LHP kit)",
+  "mass_kg": 3.5, "mount_fn_hz": 180, "damping_zeta": 0.05,
+  "mount_area_m2": 1e-4, "mount_yield_pa": 8e7,
+  "board_span_mm": 250, "board_thk_mm": 2, "comp_len_mm": 25,
+  "fatigue_exp_b": 6.4,
+  "power_w": 60, "thermal_model": "seb-lhp",
+  "max_point_c": 105, "min_start_c": -40,
+  "shock_cycles": 100, "joint_dt_factor": 0.5
+}
+`
+
+func main() {
+	articlePath := flag.String("article", "", "path to the article JSON")
+	demo := flag.Bool("demo", false, "print an example article and exit")
+	extended := flag.Bool("extended", false, "add the DO-160 shock-pulse and sine-sweep tests")
+	flag.Parse()
+
+	if *demo {
+		fmt.Print(demoArticle)
+		return
+	}
+	if *articlePath == "" {
+		fmt.Fprintln(os.Stderr, "qualify: provide -article <file> or -demo")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*articlePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var af articleFile
+	if err := json.Unmarshal(raw, &af); err != nil {
+		fmt.Fprintf(os.Stderr, "qualify: parsing %s: %v\n", *articlePath, err)
+		os.Exit(1)
+	}
+	article, err := buildArticle(&af)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var results []envtest.Result
+	if *extended {
+		results, err = envtest.DefaultExtended().RunAll(article)
+	} else {
+		results, err = envtest.DefaultCampaign().RunAll(article)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Qualification — "+article.Name, "test", "result", "margin", "detail")
+	for _, r := range results {
+		mark := "PASS"
+		if !r.Pass {
+			mark = "FAIL"
+		}
+		t.AddRow(r.Test, mark, fmt.Sprintf("%+.0f%%", r.Margin()*100), r.Detail)
+	}
+	fmt.Print(t.String())
+	if !envtest.AllPass(results) {
+		os.Exit(3)
+	}
+	fmt.Println("ALL TESTS PASSED")
+}
+
+func buildArticle(af *articleFile) (*envtest.Article, error) {
+	a := &envtest.Article{
+		Name:        af.Name,
+		MassKg:      af.MassKg,
+		MountFnHz:   af.MountFnHz,
+		DampingZeta: af.DampingZeta,
+		MountArea:   af.MountAreaM2,
+		MountYield:  af.MountYield,
+		BoardSpan:   af.BoardSpanMM * 1e-3,
+		BoardThk:    af.BoardThkMM * 1e-3,
+		CompLen:     af.CompLenMM * 1e-3,
+		CompConst:   1.0,
+		PosFactor:   1.0,
+		FatigueExpB: af.FatigueExpB,
+		PowerW:      af.PowerW,
+		MaxPointC:   af.MaxPointC,
+		MinStartC:   af.MinStartC,
+
+		ShockCyclesRequired: af.ShockCycles,
+		JointDTFactor:       af.JointDTFactor,
+	}
+	switch af.ThermalModel {
+	case "seb-lhp", "":
+		cfg := cosee.Config{UseLHP: true}
+		a.DeltaTAt = coseeHook(cfg)
+	case "seb-bare":
+		a.DeltaTAt = coseeHook(cosee.Config{})
+	case "linear":
+		if af.ThetaKW <= 0 {
+			return nil, fmt.Errorf("qualify: linear model needs theta_k_per_w > 0")
+		}
+		theta := af.ThetaKW
+		a.DeltaTAt = func(p float64) (float64, error) { return p * theta, nil }
+	default:
+		return nil, fmt.Errorf("qualify: unknown thermal model %q", af.ThermalModel)
+	}
+	return a, nil
+}
+
+func coseeHook(cfg cosee.Config) func(float64) (float64, error) {
+	return func(p float64) (float64, error) {
+		pt, err := cfg.Solve(p)
+		if err != nil {
+			return 0, err
+		}
+		return pt.DeltaTK, nil
+	}
+}

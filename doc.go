@@ -1,0 +1,25 @@
+// Package aeropack is a from-scratch Go reproduction of "Integration,
+// cooling and packaging issues for aerospace equipments" (C. Sarno,
+// C. Tantolin, Thales Aerospace Division, DATE 2010).
+//
+// The library implements the paper's packaging co-design flow and every
+// substrate it stands on: a finite-volume conduction solver with
+// convective and radiative boundaries (the FloTHERM role), structural
+// dynamics for modal placement and isolator design (the ANSYS role),
+// convection/radiation correlation libraries, two-phase devices (heat
+// pipes, loop heat pipes, thermosyphons) with their operating limits,
+// thermal interface material models with a virtual ASTM D5470 tester,
+// environmental qualification campaigns, and 217F-class reliability
+// roll-ups.
+//
+// The two experimental programmes the paper reports are reproduced as
+// virtual laboratories: internal/cosee regenerates the Fig. 10 seat
+// electronic box study (heat pipe + loop heat pipe cooling, +150%
+// dissipation capability) and internal/nanopack the thermal interface
+// material results (6 / 9.5 / 20 W/m·K products, HNC bond-line reduction,
+// ±1 K·mm²/W tester).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-reproduced record, and bench_test.go for the harness that
+// regenerates every table and figure (go test -bench=.).
+package aeropack

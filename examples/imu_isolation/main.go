@@ -1,0 +1,83 @@
+// imu_isolation reproduces the paper's Fig. 3 exercise: design the
+// mechanical filtering of an inertial reference system.  The sensors must
+// see far less vibration than the rack provides, so the unit rides on
+// four isolators whose mount frequency and damping are chosen here, then
+// verified against the DO-160 curve C1 random environment.
+//
+//	go run ./examples/imu_isolation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aeropack/internal/mech"
+	"aeropack/internal/vibration"
+)
+
+func main() {
+	const (
+		massKg  = 6.0
+		mountHz = 45.0
+		zeta    = 0.10
+		nIso    = 4
+	)
+
+	// Size the isolators.
+	k, err := mech.IsolatorStiffness(massKg, mountHz, nIso)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolators: %d × %.0f N/mm placing %g kg at %.0f Hz (ζ=%.2f, Q=%.1f)\n",
+		nIso, k/1000, massKg, mountHz, zeta, mech.QFactor(zeta))
+
+	// Build the mounted system and sweep the transmissibility.
+	s := mech.NewLumped()
+	if err := s.AddMass("imu", massKg); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < nIso; i++ {
+		if err := s.AddSpring("imu", mech.Ground, k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := 2 * zeta * (2 * 3.141592653589793 * mountHz) * massKg
+	if err := s.AddDamper("imu", mech.Ground, c); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n  f (Hz)   |X/Xbase|")
+	for _, f := range []float64{10, 20, 45, 90, 200, 450, 1000, 2000} {
+		tr, err := s.Transmissibility("imu", f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		switch {
+		case f == mountHz:
+			marker = "   ← resonance (amplifies)"
+		case tr < 0.1:
+			marker = "   ← >10× attenuation"
+		}
+		fmt.Printf("  %6.0f   %8.3f%s\n", f, tr, marker)
+	}
+
+	// Random-vibration budget: rack input vs what the sensors see.
+	psd, err := vibration.DO160("C1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rackIn := psd.RMS()
+	imuOut, err := vibration.ResponseRMS(psd, mountHz, zeta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDO-160 C1 rack input : %.2f gRMS\n", rackIn)
+	fmt.Printf("isolated IMU response: %.2f gRMS (%.0f%% of input)\n",
+		imuOut, imuOut/rackIn*100)
+
+	// Octave rule: the sensor cluster's internal mode must clear 2× the
+	// mount frequency so the stages do not couple.
+	ratio, ok := mech.OctaveRule(mountHz, 320)
+	fmt.Printf("octave rule vs 320 Hz sensor mode: ratio %.1f, pass %v\n", ratio, ok)
+}

@@ -1,0 +1,3 @@
+module aeropack
+
+go 1.22

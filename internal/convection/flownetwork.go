@@ -1,0 +1,184 @@
+package convection
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/materials"
+	"aeropack/internal/units"
+)
+
+// Channel is one parallel air passage of a rack: a card-to-card slot with
+// a quadratic impedance dp = K·q² and the power its board dumps into the
+// passing air.
+type Channel struct {
+	Name   string
+	K      float64 // impedance coefficient, Pa/(m³/s)²
+	PowerW float64 // heat picked up by this channel's air
+	// Area is the channel cross-section (for velocity reporting), m².
+	Area float64
+}
+
+// ChannelImpedance estimates K for a rectangular card slot of gap g,
+// width w and length l from the laminar/turbulent duct friction at a
+// representative flow q0 — a one-point linearisation adequate for slot
+// balancing.
+func ChannelImpedance(gap, width, length, q0, T float64) (float64, error) {
+	if gap <= 0 || width <= 0 || length <= 0 || q0 <= 0 {
+		return 0, fmt.Errorf("convection: invalid channel geometry")
+	}
+	area := gap * width
+	v := q0 / area
+	d, err := Duct(HydraulicDiameter(gap, width), length, v, T)
+	if err != nil {
+		return 0, err
+	}
+	return d.DP / (q0 * q0), nil
+}
+
+// RackFlow is a parallel network of channels fed from a common plenum.
+type RackFlow struct {
+	Channels []Channel
+	// InletC is the supply air temperature.
+	InletC float64
+}
+
+// Validate checks the network.
+func (r *RackFlow) Validate() error {
+	if len(r.Channels) == 0 {
+		return fmt.Errorf("convection: rack needs at least one channel")
+	}
+	for i, c := range r.Channels {
+		if c.K <= 0 {
+			return fmt.Errorf("convection: channel %d (%s) needs positive impedance", i, c.Name)
+		}
+		if c.PowerW < 0 {
+			return fmt.Errorf("convection: channel %d (%s) negative power", i, c.Name)
+		}
+	}
+	return nil
+}
+
+// Split is a solved flow distribution.
+type Split struct {
+	// Q[i] is channel i's volumetric flow, m³/s.
+	Q []float64
+	// DP is the common plenum-to-exhaust pressure drop, Pa.
+	DP float64
+	// ExitC[i] is channel i's air exit temperature, °C.
+	ExitC []float64
+	// VelocityMS[i] is the mean channel velocity (0 when Area unset).
+	VelocityMS []float64
+}
+
+// TotalQ returns the summed flow.
+func (s *Split) TotalQ() float64 {
+	sum := 0.0
+	for _, q := range s.Q {
+		sum += q
+	}
+	return sum
+}
+
+// HottestExitC returns the worst channel exit temperature.
+func (s *Split) HottestExitC() float64 {
+	hot := math.Inf(-1)
+	for _, t := range s.ExitC {
+		if t > hot {
+			hot = t
+		}
+	}
+	return hot
+}
+
+// SolveSplit distributes a prescribed total volumetric flow (m³/s) across
+// the parallel channels: equal pressure drop forces qᵢ ∝ 1/√Kᵢ, solved in
+// closed form.
+func (r *RackFlow) SolveSplit(totalQ float64) (*Split, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if totalQ <= 0 {
+		return nil, fmt.Errorf("convection: total flow must be positive")
+	}
+	sumInv := 0.0
+	for _, c := range r.Channels {
+		sumInv += 1 / math.Sqrt(c.K)
+	}
+	dpSqrt := totalQ / sumInv // √ΔP
+	out := &Split{DP: dpSqrt * dpSqrt}
+	air := materials.Air(units.CToK(r.InletC), units.AtmPressure)
+	for _, c := range r.Channels {
+		q := dpSqrt / math.Sqrt(c.K)
+		out.Q = append(out.Q, q)
+		mdot := q * air.Rho
+		rise := c.PowerW / (mdot * air.Cp)
+		out.ExitC = append(out.ExitC, r.InletC+rise)
+		v := 0.0
+		if c.Area > 0 {
+			v = q / c.Area
+		}
+		out.VelocityMS = append(out.VelocityMS, v)
+	}
+	return out, nil
+}
+
+// EffectiveImpedance returns the parallel network's combined K: the
+// single-channel equivalent a fan curve can be intersected with.
+func (r *RackFlow) EffectiveImpedance() (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	sumInv := 0.0
+	for _, c := range r.Channels {
+		sumInv += 1 / math.Sqrt(c.K)
+	}
+	return 1 / (sumInv * sumInv), nil
+}
+
+// SolveWithFan finds the operating point of the rack on a fan curve and
+// returns the resulting split.
+func (r *RackFlow) SolveWithFan(fan *FanCurve) (*Split, error) {
+	keff, err := r.EffectiveImpedance()
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := fan.OperatingPoint(keff)
+	if err != nil {
+		return nil, err
+	}
+	return r.SolveSplit(q)
+}
+
+// RequiredFlowForExitLimit returns the total flow that keeps every
+// channel's exit below limitC, found in closed form from the worst
+// power-to-flow-share ratio.
+func (r *RackFlow) RequiredFlowForExitLimit(limitC float64) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if limitC <= r.InletC {
+		return 0, fmt.Errorf("convection: exit limit must exceed the inlet temperature")
+	}
+	air := materials.Air(units.CToK(r.InletC), units.AtmPressure)
+	sumInv := 0.0
+	for _, c := range r.Channels {
+		sumInv += 1 / math.Sqrt(c.K)
+	}
+	need := 0.0
+	for _, c := range r.Channels {
+		if c.PowerW == 0 {
+			continue
+		}
+		// Channel i's share: qᵢ = Q·(1/√Kᵢ)/sumInv; rise = P/(ρ·cp·qᵢ).
+		share := (1 / math.Sqrt(c.K)) / sumInv
+		q := c.PowerW / (air.Rho * air.Cp * (limitC - r.InletC) * share)
+		if q > need {
+			need = q
+		}
+	}
+	if need == 0 {
+		return 0, fmt.Errorf("convection: no powered channels")
+	}
+	return need, nil
+}

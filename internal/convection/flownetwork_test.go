@@ -1,0 +1,167 @@
+package convection
+
+import (
+	"math"
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func testRack() *RackFlow {
+	return &RackFlow{
+		InletC: 40,
+		Channels: []Channel{
+			{Name: "slot1", K: 4e6, PowerW: 60, Area: 0.1 * 0.01},
+			{Name: "slot2", K: 4e6, PowerW: 60, Area: 0.1 * 0.01},
+			{Name: "slot3", K: 4e6, PowerW: 30, Area: 0.1 * 0.01},
+		},
+	}
+}
+
+func TestSplitEqualChannels(t *testing.T) {
+	r := testRack()
+	s, err := r.SolveSplit(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal impedances: even thirds.
+	for i, q := range s.Q {
+		if !units.ApproxEqual(q, 0.01, 1e-9) {
+			t.Errorf("channel %d flow %v, want 0.01", i, q)
+		}
+	}
+	if !units.ApproxEqual(s.TotalQ(), 0.03, 1e-9) {
+		t.Errorf("total flow %v", s.TotalQ())
+	}
+	// Common ΔP consistent with each channel: dp = K·q².
+	want := 4e6 * 0.01 * 0.01
+	if !units.ApproxEqual(s.DP, want, 1e-9) {
+		t.Errorf("ΔP = %v, want %v", s.DP, want)
+	}
+	// Exit temps: the 60 W slots run hotter than the 30 W slot.
+	if !(s.ExitC[0] > s.ExitC[2] && s.ExitC[1] > s.ExitC[2]) {
+		t.Errorf("exit temps wrong: %v", s.ExitC)
+	}
+	if s.HottestExitC() != s.ExitC[0] {
+		t.Error("hottest exit wrong")
+	}
+	// Velocities reported.
+	if !units.ApproxEqual(s.VelocityMS[0], 0.01/0.001, 1e-9) {
+		t.Errorf("velocity %v", s.VelocityMS[0])
+	}
+}
+
+func TestSplitRestrictedChannelStarves(t *testing.T) {
+	// Quadrupling one slot's impedance halves its flow share and doubles
+	// its temperature rise — the classic starved-slot failure.
+	r := testRack()
+	r.Channels[0].K = 16e6
+	s, err := r.SolveSplit(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(s.Q[0], s.Q[1]/2, 1e-9) {
+		t.Errorf("restricted slot flow %v, want half of %v", s.Q[0], s.Q[1])
+	}
+	rise0 := s.ExitC[0] - 40
+	rise1 := s.ExitC[1] - 40
+	if !units.ApproxEqual(rise0, 2*rise1, 1e-9) {
+		t.Errorf("starved slot rise %v, want 2× %v", rise0, rise1)
+	}
+}
+
+func TestEffectiveImpedanceAndFan(t *testing.T) {
+	r := testRack()
+	keff, err := r.EffectiveImpedance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three equal channels in parallel: K_eff = K/9.
+	if !units.ApproxEqual(keff, 4e6/9, 1e-9) {
+		t.Errorf("K_eff = %v, want %v", keff, 4e6/9.0)
+	}
+	fan, err := NewFanCurve(
+		[]float64{0, 0.01, 0.02, 0.03, 0.05},
+		[]float64{900, 800, 600, 320, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.SolveWithFan(fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operating point on both curves.
+	q := s.TotalQ()
+	if !units.ApproxEqual(s.DP, keff*q*q, 1e-6) {
+		t.Error("fan split not on the system curve")
+	}
+	if !units.ApproxEqual(s.DP, fan.PressureAt(q), 1e-2) {
+		t.Error("fan split not on the fan curve")
+	}
+}
+
+func TestRequiredFlowForExitLimit(t *testing.T) {
+	r := testRack()
+	q, err := r.RequiredFlowForExitLimit(55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At exactly that flow, the hottest exit hits the limit.
+	s, err := r.SolveSplit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(s.HottestExitC(), 55, 1e-6) {
+		t.Errorf("hottest exit %v at the sizing flow, want 55", s.HottestExitC())
+	}
+	// More flow → cooler.
+	s2, _ := r.SolveSplit(q * 1.5)
+	if s2.HottestExitC() >= 55 {
+		t.Error("extra flow must cool the exits")
+	}
+	if _, err := r.RequiredFlowForExitLimit(30); err == nil {
+		t.Error("limit below inlet should error")
+	}
+	cold := &RackFlow{InletC: 40, Channels: []Channel{{Name: "idle", K: 1e6}}}
+	if _, err := cold.RequiredFlowForExitLimit(55); err == nil {
+		t.Error("unpowered rack should error")
+	}
+}
+
+func TestChannelImpedance(t *testing.T) {
+	k, err := ChannelImpedance(0.01, 0.15, 0.2, 0.01, units.CToK(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 || math.IsInf(k, 0) {
+		t.Errorf("impedance %v invalid", k)
+	}
+	// Narrower gap → higher impedance.
+	k2, _ := ChannelImpedance(0.005, 0.15, 0.2, 0.01, units.CToK(40))
+	if k2 <= k {
+		t.Error("narrow gap should be more restrictive")
+	}
+	if _, err := ChannelImpedance(0, 1, 1, 0.01, 300); err == nil {
+		t.Error("bad geometry should error")
+	}
+}
+
+func TestRackValidation(t *testing.T) {
+	empty := &RackFlow{}
+	if _, err := empty.SolveSplit(0.01); err == nil {
+		t.Error("empty rack should error")
+	}
+	bad := testRack()
+	bad.Channels[1].K = 0
+	if _, err := bad.SolveSplit(0.01); err == nil {
+		t.Error("zero impedance should error")
+	}
+	bad2 := testRack()
+	bad2.Channels[0].PowerW = -1
+	if _, err := bad2.SolveSplit(0.01); err == nil {
+		t.Error("negative power should error")
+	}
+	if _, err := testRack().SolveSplit(-1); err == nil {
+		t.Error("negative flow should error")
+	}
+}

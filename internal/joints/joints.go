@@ -1,0 +1,159 @@
+// Package joints models the mechanical fastenings that double as thermal
+// paths in avionics packaging: bolted interfaces and the card-retainer
+// wedge locks of conduction-cooled modules.  Contact conductance follows
+// the Cooper–Mikic–Yovanovich plastic-deformation correlation, with a
+// flatness derate for real machined surfaces — the physics under the
+// "thermal wedge lock" and "thermal exchanges" boxes of the paper's
+// design-procedure figure.
+package joints
+
+import (
+	"fmt"
+	"math"
+)
+
+// Surface describes one side of a metallic contact.
+type Surface struct {
+	K          float64 // thermal conductivity, W/(m·K)
+	RoughnessM float64 // RMS roughness σ, m (machined Al: 0.5–2 µm)
+	SlopeM     float64 // mean asperity slope m (0.05–0.15 typical)
+	HardnessPa float64 // microhardness Hc, Pa (Al alloys ≈ 1 GPa)
+}
+
+// DefaultAl6061Surface returns a machined Al6061 face.
+func DefaultAl6061Surface() Surface {
+	return Surface{K: 167, RoughnessM: 1.0e-6, SlopeM: 0.10, HardnessPa: 1.0e9}
+}
+
+// ContactConductance returns the Cooper–Mikic–Yovanovich contact
+// conductance h_c (W/m²K) between two surfaces at apparent contact
+// pressure p (Pa):
+//
+//	h = 1.25·k_s·(m/σ)·(p/Hc)^0.95
+//
+// with harmonic-mean conductivity k_s and combined roughness/slope.
+// flatness (0..1] derates for large-scale waviness; 1 = optically flat.
+func ContactConductance(a, b Surface, p, flatness float64) (float64, error) {
+	if p <= 0 {
+		return 0, fmt.Errorf("joints: contact pressure must be positive")
+	}
+	if flatness <= 0 || flatness > 1 {
+		return 0, fmt.Errorf("joints: flatness must be in (0,1]")
+	}
+	for _, s := range []Surface{a, b} {
+		if s.K <= 0 || s.RoughnessM <= 0 || s.SlopeM <= 0 || s.HardnessPa <= 0 {
+			return 0, fmt.Errorf("joints: invalid surface parameters")
+		}
+	}
+	ks := 2 * a.K * b.K / (a.K + b.K)
+	sigma := math.Hypot(a.RoughnessM, b.RoughnessM)
+	m := math.Hypot(a.SlopeM, b.SlopeM)
+	hc := math.Min(a.HardnessPa, b.HardnessPa)
+	pr := p / hc
+	if pr > 1 {
+		pr = 1 // fully yielded contact
+	}
+	return 1.25 * ks * (m / sigma) * math.Pow(pr, 0.95) * flatness, nil
+}
+
+// BoltClampForce returns the preload of a bolt torqued to T (N·m) with
+// nut factor kNut (≈0.2 dry) and nominal diameter d (m): F = T/(k·d).
+func BoltClampForce(torque, kNut, d float64) (float64, error) {
+	if torque <= 0 || kNut <= 0 || d <= 0 {
+		return 0, fmt.Errorf("joints: invalid bolt parameters")
+	}
+	return torque / (kNut * d), nil
+}
+
+// BoltedJoint is a bolted thermal interface.
+type BoltedJoint struct {
+	SurfaceA, SurfaceB Surface
+	Bolts              int
+	TorqueNm           float64
+	NutFactor          float64 // 0 → 0.2
+	BoltDiaM           float64
+	// ContactArea is the effective pressure-cone footprint, m².
+	ContactArea float64
+	Flatness    float64 // 0 → 0.3 (typical machined chassis faces)
+}
+
+// Conductance returns the joint's total thermal conductance, W/K.
+func (j *BoltedJoint) Conductance() (float64, error) {
+	if j.Bolts < 1 || j.ContactArea <= 0 {
+		return 0, fmt.Errorf("joints: joint needs bolts and contact area")
+	}
+	kn := j.NutFactor
+	if kn == 0 {
+		kn = 0.2
+	}
+	fl := j.Flatness
+	if fl == 0 {
+		fl = 0.3
+	}
+	f, err := BoltClampForce(j.TorqueNm, kn, j.BoltDiaM)
+	if err != nil {
+		return 0, err
+	}
+	p := float64(j.Bolts) * f / j.ContactArea
+	h, err := ContactConductance(j.SurfaceA, j.SurfaceB, p, fl)
+	if err != nil {
+		return 0, err
+	}
+	return h * j.ContactArea, nil
+}
+
+// WedgeLock is a five-segment card retainer clamping a conduction-cooled
+// module's edge into its rail — the paper's "thermal wedge lock".
+type WedgeLock struct {
+	LengthM   float64 // clamped edge length
+	WidthM    float64 // rail land width
+	TorqueNm  float64 // actuation screw torque
+	ScrewDiaM float64 // actuation screw diameter
+	WedgeGain float64 // axial→normal force multiplication (0 → 2.5)
+	Surfaces  [2]Surface
+	Flatness  float64 // 0 → 0.08 (segmented, wavy clamp faces)
+}
+
+// Conductance returns the lock's edge conductance, W/K.
+func (w *WedgeLock) Conductance() (float64, error) {
+	if w.LengthM <= 0 || w.WidthM <= 0 {
+		return 0, fmt.Errorf("joints: wedge lock needs a clamped strip")
+	}
+	gain := w.WedgeGain
+	if gain == 0 {
+		gain = 2.5
+	}
+	fl := w.Flatness
+	if fl == 0 {
+		fl = 0.08
+	}
+	f, err := BoltClampForce(w.TorqueNm, 0.2, w.ScrewDiaM)
+	if err != nil {
+		return 0, err
+	}
+	area := w.LengthM * w.WidthM
+	p := gain * f / area
+	a, b := w.Surfaces[0], w.Surfaces[1]
+	if a.K == 0 {
+		a = DefaultAl6061Surface()
+	}
+	if b.K == 0 {
+		b = DefaultAl6061Surface()
+	}
+	h, err := ContactConductance(a, b, p, fl)
+	if err != nil {
+		return 0, err
+	}
+	return h * area, nil
+}
+
+// DefaultWedgeLock returns the 6U-class retainer delivering the 2–5 W/K
+// per edge the level-1 conduction-cooled capacity screen assumes.
+func DefaultWedgeLock() *WedgeLock {
+	return &WedgeLock{
+		LengthM:   0.15,
+		WidthM:    5e-3,
+		TorqueNm:  0.6,
+		ScrewDiaM: 4e-3,
+	}
+}

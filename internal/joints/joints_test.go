@@ -1,0 +1,147 @@
+package joints
+
+import (
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestContactConductanceMagnitude(t *testing.T) {
+	// Flat machined Al-Al at 1 MPa: CMY gives the classic 10⁴–10⁵ W/m²K.
+	a := DefaultAl6061Surface()
+	h, err := ContactConductance(a, a, 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1e4 || h > 1e5 {
+		t.Errorf("CMY h = %v W/m²K, want 1e4–1e5", h)
+	}
+}
+
+func TestContactConductanceTrends(t *testing.T) {
+	a := DefaultAl6061Surface()
+	// Monotone in pressure.
+	h1, _ := ContactConductance(a, a, 0.5e6, 1)
+	h2, _ := ContactConductance(a, a, 2e6, 1)
+	if h2 <= h1 {
+		t.Error("conductance must grow with pressure")
+	}
+	// Rougher surfaces conduct worse.
+	rough := a
+	rough.RoughnessM = 4e-6
+	hr, _ := ContactConductance(a, rough, 1e6, 1)
+	hs, _ := ContactConductance(a, a, 1e6, 1)
+	if hr >= hs {
+		t.Error("roughness must hurt conductance")
+	}
+	// Dissimilar pair limited by the softer/worse conductor.
+	steel := Surface{K: 16, RoughnessM: 1e-6, SlopeM: 0.1, HardnessPa: 2e9}
+	hd, _ := ContactConductance(a, steel, 1e6, 1)
+	if hd >= hs {
+		t.Error("Al-steel should trail Al-Al")
+	}
+	// Pressure saturation at full yield: no blow-up beyond Hc.
+	hy, err := ContactConductance(a, a, 5e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyRef, _ := ContactConductance(a, a, 1e9, 1)
+	if !units.ApproxEqual(hy, hyRef, 1e-9) {
+		t.Error("beyond-yield pressure should clamp")
+	}
+}
+
+func TestContactConductanceValidation(t *testing.T) {
+	a := DefaultAl6061Surface()
+	if _, err := ContactConductance(a, a, -1, 1); err == nil {
+		t.Error("negative pressure should error")
+	}
+	if _, err := ContactConductance(a, a, 1e6, 0); err == nil {
+		t.Error("zero flatness should error")
+	}
+	if _, err := ContactConductance(a, a, 1e6, 2); err == nil {
+		t.Error("flatness >1 should error")
+	}
+	bad := a
+	bad.RoughnessM = 0
+	if _, err := ContactConductance(a, bad, 1e6, 1); err == nil {
+		t.Error("invalid surface should error")
+	}
+}
+
+func TestBoltClampForce(t *testing.T) {
+	// M4 at 1.2 N·m dry: F = 1.2/(0.2·0.004) = 1500 N.
+	f, err := BoltClampForce(1.2, 0.2, 4e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(f, 1500, 1e-9) {
+		t.Errorf("clamp force = %v", f)
+	}
+	if _, err := BoltClampForce(-1, 0.2, 4e-3); err == nil {
+		t.Error("bad torque should error")
+	}
+}
+
+func TestBoltedJointConductance(t *testing.T) {
+	j := &BoltedJoint{
+		SurfaceA: DefaultAl6061Surface(), SurfaceB: DefaultAl6061Surface(),
+		Bolts: 4, TorqueNm: 1.2, BoltDiaM: 4e-3, ContactArea: 4e-4,
+	}
+	g, err := j.Conductance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A four-bolt chassis joint lands in the tens of W/K.
+	if g < 5 || g > 200 {
+		t.Errorf("bolted joint G = %v W/K implausible", g)
+	}
+	// More torque → better joint.
+	j2 := *j
+	j2.TorqueNm = 2.4
+	g2, _ := j2.Conductance()
+	if g2 <= g {
+		t.Error("torque should improve the joint")
+	}
+	j3 := *j
+	j3.Bolts = 0
+	if _, err := j3.Conductance(); err == nil {
+		t.Error("boltless joint should error")
+	}
+}
+
+func TestWedgeLockClass(t *testing.T) {
+	// The handbook class for 6U wedge locks: 2–5 W/K per edge — the
+	// number the core level-1 conduction screen assumes.
+	w := DefaultWedgeLock()
+	g, err := w.Conductance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1.5 || g > 6 {
+		t.Errorf("wedge lock G = %v W/K, want the 2–5 class", g)
+	}
+	// Torque trend.
+	w2 := *w
+	w2.TorqueNm = 1.2
+	g2, _ := w2.Conductance()
+	if g2 <= g {
+		t.Error("more torque should improve the lock")
+	}
+	// Resistance per lock: 0.2–0.5 K/W — consistent with the 15 K edge
+	// budget at ~20 W/edge the level-2 model books.
+	r := 1 / g
+	if r < 0.15 || r > 0.7 {
+		t.Errorf("per-lock resistance %v K/W outside practice", r)
+	}
+	bad := *w
+	bad.LengthM = 0
+	if _, err := bad.Conductance(); err == nil {
+		t.Error("missing strip should error")
+	}
+	bad2 := *w
+	bad2.TorqueNm = -1
+	if _, err := bad2.Conductance(); err == nil {
+		t.Error("bad torque should error")
+	}
+}

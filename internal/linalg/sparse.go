@@ -1,0 +1,150 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format sparse matrix builder.  Duplicate entries are
+// summed when converting to CSR, which is exactly the accumulation
+// behaviour finite-volume and finite-element assembly need.
+type COO struct {
+	Rows, Cols int
+	ri, ci     []int
+	v          []float64
+}
+
+// NewCOO returns an empty builder for a Rows×Cols matrix.
+func NewCOO(rows, cols int) *COO {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid COO dimensions %d×%d", rows, cols))
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add accumulates v at (i,j).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("linalg: COO index (%d,%d) out of range %d×%d", i, j, c.Rows, c.Cols))
+	}
+	if v == 0 {
+		return
+	}
+	c.ri = append(c.ri, i)
+	c.ci = append(c.ci, j)
+	c.v = append(c.v, v)
+}
+
+// NNZ returns the number of stored (pre-merge) entries.
+func (c *COO) NNZ() int { return len(c.v) }
+
+// ToCSR converts the builder to compressed-sparse-row form, merging
+// duplicates by summation and dropping exact zeros produced by
+// cancellation.
+func (c *COO) ToCSR() *CSR {
+	n := len(c.v)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if c.ri[ia] != c.ri[ib] {
+			return c.ri[ia] < c.ri[ib]
+		}
+		return c.ci[ia] < c.ci[ib]
+	})
+	csr := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	lastR, lastC := -1, -1
+	for _, idx := range order {
+		r, col, v := c.ri[idx], c.ci[idx], c.v[idx]
+		if r == lastR && col == lastC {
+			csr.Val[len(csr.Val)-1] += v
+			continue
+		}
+		csr.ColIdx = append(csr.ColIdx, col)
+		csr.Val = append(csr.Val, v)
+		csr.RowPtr[r+1]++
+		lastR, lastC = r, col
+	}
+	for i := 0; i < c.Rows; i++ {
+		csr.RowPtr[i+1] += csr.RowPtr[i]
+	}
+	return csr
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = M·x, reusing y if it has the right length.
+func (m *CSR) MulVec(x, y []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: dimension mismatch in CSR MulVec")
+	}
+	if len(y) != m.Rows {
+		y = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// At returns element (i,j) with a per-row binary search; O(log nnz_row).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := sort.SearchInts(m.ColIdx[lo:hi], j) + lo
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// Diag extracts the main diagonal.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix is structurally and numerically
+// symmetric to tolerance tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if d := m.Val[k] - m.At(j, i); d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToDense expands the matrix; for tests and small eigenproblems only.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}

@@ -1,0 +1,85 @@
+package materials
+
+import (
+	"fmt"
+	"math"
+)
+
+// ISA implements the International Standard Atmosphere up to 25 km: the
+// pressure and temperature an avionics box actually sees in a ventilated
+// or unpressurized bay.  Altitude derating of convective cooling is one
+// of the severe "environmental constraints" the paper's packaging design
+// must absorb: at 40,000 ft the air density — and with it every
+// convective film — has fallen to a quarter of sea level.
+type ISA struct {
+	AltitudeM float64
+	T         float64 // K
+	P         float64 // Pa
+	Rho       float64 // kg/m³
+}
+
+// StandardAtmosphere evaluates the ISA at geometric altitude h (m),
+// valid 0–25,000 m (troposphere + lower stratosphere).
+func StandardAtmosphere(h float64) (ISA, error) {
+	if h < -500 || h > 25000 {
+		return ISA{}, fmt.Errorf("materials: altitude %g m outside ISA range", h)
+	}
+	const (
+		T0    = 288.15  // K
+		P0    = 101325  // Pa
+		L     = 0.0065  // K/m tropospheric lapse
+		hTrop = 11000.0 // m
+		g     = 9.80665
+		R     = 287.058
+	)
+	var T, P float64
+	if h <= hTrop {
+		T = T0 - L*h
+		P = P0 * math.Pow(T/T0, g/(L*R))
+	} else {
+		T = T0 - L*hTrop // isothermal 216.65 K
+		pTrop := P0 * math.Pow(T/T0, g/(L*R))
+		P = pTrop * math.Exp(-g*(h-hTrop)/(R*T))
+	}
+	return ISA{AltitudeM: h, T: T, P: P, Rho: P / (R * T)}, nil
+}
+
+// AirAtAltitude returns dry-air properties at ISA altitude h (m) for a
+// surface running at temperature Tsurf — the film properties convection
+// correlations need in flight.
+func AirAtAltitude(h, Tsurf float64) (AirProps, ISA, error) {
+	isa, err := StandardAtmosphere(h)
+	if err != nil {
+		return AirProps{}, ISA{}, err
+	}
+	film := 0.5 * (Tsurf + isa.T)
+	return Air(film, isa.P), isa, nil
+}
+
+// NaturalConvectionDerate returns the factor by which buoyant convection
+// weakens at altitude relative to sea level: h_alt/h_sl ≈ (ρ/ρ₀)^(1/2)
+// for laminar natural convection (Ra ∝ ρ², Nu ∝ Ra^{1/4}).
+func NaturalConvectionDerate(h float64) (float64, error) {
+	isa, err := StandardAtmosphere(h)
+	if err != nil {
+		return 0, err
+	}
+	sl, _ := StandardAtmosphere(0)
+	return math.Sqrt(isa.Rho / sl.Rho), nil
+}
+
+// ForcedConvectionDerate returns the factor for fan-driven (constant
+// volumetric flow) forced convection: h ∝ (ρV)^0.8 at fixed V gives
+// (ρ/ρ₀)^0.8.
+func ForcedConvectionDerate(h float64) (float64, error) {
+	isa, err := StandardAtmosphere(h)
+	if err != nil {
+		return 0, err
+	}
+	sl, _ := StandardAtmosphere(0)
+	return math.Pow(isa.Rho/sl.Rho, 0.8), nil
+}
+
+// CabinAltitudeM is the standard pressurized-cabin equivalent altitude
+// (8,000 ft) used for cabin equipment such as the COSEE seat boxes.
+const CabinAltitudeM = 2438.4

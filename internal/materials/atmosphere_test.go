@@ -1,0 +1,126 @@
+package materials
+
+import (
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestISASeaLevel(t *testing.T) {
+	isa, err := StandardAtmosphere(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(isa.T, 288.15, 1e-9) {
+		t.Errorf("sea-level T = %v", isa.T)
+	}
+	if !units.ApproxEqual(isa.P, 101325, 1e-9) {
+		t.Errorf("sea-level P = %v", isa.P)
+	}
+	if !units.ApproxEqual(isa.Rho, 1.225, 0.001) {
+		t.Errorf("sea-level rho = %v", isa.Rho)
+	}
+}
+
+func TestISAHandbookPoints(t *testing.T) {
+	// 11 km (tropopause): T = 216.65 K, P ≈ 22,632 Pa.
+	isa, err := StandardAtmosphere(11000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(isa.T, 216.65, 1e-4) {
+		t.Errorf("tropopause T = %v", isa.T)
+	}
+	if !units.ApproxEqual(isa.P, 22632, 0.002) {
+		t.Errorf("tropopause P = %v", isa.P)
+	}
+	// 20 km: P ≈ 5474 Pa in the isothermal layer.
+	isa20, _ := StandardAtmosphere(20000)
+	if !units.ApproxEqual(isa20.P, 5474, 0.01) {
+		t.Errorf("20 km P = %v", isa20.P)
+	}
+	if !units.ApproxEqual(isa20.T, 216.65, 1e-4) {
+		t.Errorf("20 km T = %v (isothermal layer)", isa20.T)
+	}
+	// Cruise altitude 40,000 ft ≈ 12,192 m: ρ ≈ 0.30 kg/m³.
+	cruise, _ := StandardAtmosphere(12192)
+	if !units.ApproxEqual(cruise.Rho, 0.30, 0.03) {
+		t.Errorf("FL400 rho = %v, want ≈0.30", cruise.Rho)
+	}
+}
+
+func TestISAMonotone(t *testing.T) {
+	prevP, prevRho := 1e9, 1e9
+	for h := 0.0; h <= 25000; h += 500 {
+		isa, err := StandardAtmosphere(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isa.P >= prevP || isa.Rho >= prevRho {
+			t.Fatalf("pressure/density not monotone at %v m", h)
+		}
+		prevP, prevRho = isa.P, isa.Rho
+	}
+}
+
+func TestISARange(t *testing.T) {
+	if _, err := StandardAtmosphere(30000); err == nil {
+		t.Error("beyond range should error")
+	}
+	if _, err := StandardAtmosphere(-1000); err == nil {
+		t.Error("below range should error")
+	}
+}
+
+func TestAirAtAltitude(t *testing.T) {
+	a, isa, err := AirAtAltitude(12192, units.CToK(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := Air(0.5*(units.CToK(60)+288.15), units.AtmPressure)
+	if a.Rho >= sl.Rho/3 {
+		t.Errorf("cruise film density %v should be ≪ sea level %v", a.Rho, sl.Rho)
+	}
+	if isa.T > 230 {
+		t.Errorf("cruise static temperature %v implausible", isa.T)
+	}
+	if _, _, err := AirAtAltitude(99999, 300); err == nil {
+		t.Error("bad altitude should error")
+	}
+}
+
+func TestConvectionDerates(t *testing.T) {
+	// Sea level: no derate.
+	n0, _ := NaturalConvectionDerate(0)
+	f0, _ := ForcedConvectionDerate(0)
+	if !units.ApproxEqual(n0, 1, 1e-9) || !units.ApproxEqual(f0, 1, 1e-9) {
+		t.Error("sea-level derates must be 1")
+	}
+	// 40,000 ft: natural convection halves; fan cooling drops to ~38%.
+	n, err := NaturalConvectionDerate(12192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0.4 || n > 0.6 {
+		t.Errorf("natural derate at FL400 = %v, want ≈0.5", n)
+	}
+	f, _ := ForcedConvectionDerate(12192)
+	if f < 0.3 || f > 0.45 {
+		t.Errorf("forced derate at FL400 = %v, want ≈0.38", f)
+	}
+	// Forced (exp 0.8) derates harder than natural (exp 0.5).
+	if f >= n {
+		t.Error("forced cooling should derate harder than natural")
+	}
+	// Cabin altitude: mild (~10%) natural derate — the COSEE cabin case.
+	nc, _ := NaturalConvectionDerate(CabinAltitudeM)
+	if nc < 0.85 || nc > 0.95 {
+		t.Errorf("cabin derate = %v, want ≈0.9", nc)
+	}
+	if _, err := NaturalConvectionDerate(1e6); err == nil {
+		t.Error("bad altitude should error")
+	}
+	if _, err := ForcedConvectionDerate(1e6); err == nil {
+		t.Error("bad altitude should error")
+	}
+}

@@ -1,0 +1,268 @@
+// Package materials provides the material property database used across
+// aeropack's thermal, mechanical and reliability models.
+//
+// Properties follow the convention of the packaging literature: thermal
+// conductivity k in W/(m·K), density rho in kg/m³, specific heat cp in
+// J/(kg·K), Young's modulus E in Pa, CTE in 1/K.  Orthotropic thermal
+// conductivity (needed for multilayer PCBs with copper planes) is expressed
+// as separate in-plane and through-plane values.
+package materials
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Material describes a homogeneous engineering material.  A zero value is
+// not usable; obtain instances from Get or construct them fully.
+type Material struct {
+	Name string
+
+	// Thermal properties.
+	K        float64 // isotropic thermal conductivity, W/(m·K)
+	KInPlane float64 // in-plane conductivity for orthotropic laminates (0 → use K)
+	KThru    float64 // through-plane conductivity for orthotropic laminates (0 → use K)
+	Rho      float64 // density, kg/m³
+	Cp       float64 // specific heat, J/(kg·K)
+	Emiss    float64 // total hemispherical emissivity (typical surface finish)
+
+	// Mechanical properties.
+	E        float64 // Young's modulus, Pa
+	Nu       float64 // Poisson's ratio
+	CTE      float64 // coefficient of thermal expansion, 1/K
+	Yield    float64 // yield (or ultimate for brittle) strength, Pa
+	FatigueB float64 // Basquin fatigue exponent b (S = Sf·N^b), negative
+	FatigueS float64 // Basquin fatigue strength coefficient Sf, Pa
+
+	// MaxServiceT is the maximum continuous service temperature, K.
+	MaxServiceT float64
+}
+
+// Orthotropic reports whether the material has direction-dependent
+// conductivity.
+func (m *Material) Orthotropic() bool {
+	return m.KInPlane != 0 || m.KThru != 0
+}
+
+// Kx returns the in-plane conductivity, falling back to the isotropic value.
+func (m *Material) Kx() float64 {
+	if m.KInPlane != 0 {
+		return m.KInPlane
+	}
+	return m.K
+}
+
+// Kz returns the through-plane conductivity, falling back to the isotropic
+// value.
+func (m *Material) Kz() float64 {
+	if m.KThru != 0 {
+		return m.KThru
+	}
+	return m.K
+}
+
+// Diffusivity returns the thermal diffusivity k/(rho·cp) in m²/s using the
+// isotropic (or in-plane) conductivity.
+func (m *Material) Diffusivity() float64 {
+	if m.Rho == 0 || m.Cp == 0 {
+		return 0
+	}
+	return m.Kx() / (m.Rho * m.Cp)
+}
+
+// VolumetricHeatCapacity returns rho·cp in J/(m³·K).
+func (m *Material) VolumetricHeatCapacity() float64 { return m.Rho * m.Cp }
+
+// db is the built-in material library.  Values are room-temperature
+// handbook numbers typical of avionics packaging practice.
+var db = map[string]Material{
+	"Al6061": {
+		Name: "Al6061", K: 167, Rho: 2700, Cp: 896, Emiss: 0.09,
+		E: 68.9e9, Nu: 0.33, CTE: 23.6e-6, Yield: 276e6,
+		FatigueB: -0.085, FatigueS: 620e6, MaxServiceT: 450,
+	},
+	"Al6061Anodized": {
+		Name: "Al6061Anodized", K: 167, Rho: 2700, Cp: 896, Emiss: 0.84,
+		E: 68.9e9, Nu: 0.33, CTE: 23.6e-6, Yield: 276e6,
+		FatigueB: -0.085, FatigueS: 620e6, MaxServiceT: 450,
+	},
+	"Al7075": {
+		Name: "Al7075", K: 130, Rho: 2810, Cp: 960, Emiss: 0.09,
+		E: 71.7e9, Nu: 0.33, CTE: 23.4e-6, Yield: 503e6,
+		FatigueB: -0.076, FatigueS: 886e6, MaxServiceT: 450,
+	},
+	"Copper": {
+		Name: "Copper", K: 398, Rho: 8960, Cp: 385, Emiss: 0.03,
+		E: 117e9, Nu: 0.34, CTE: 16.5e-6, Yield: 70e6,
+		FatigueB: -0.12, FatigueS: 300e6, MaxServiceT: 500,
+	},
+	"Steel304": {
+		Name: "Steel304", K: 16.2, Rho: 8000, Cp: 500, Emiss: 0.35,
+		E: 193e9, Nu: 0.29, CTE: 17.3e-6, Yield: 215e6,
+		FatigueB: -0.09, FatigueS: 1000e6, MaxServiceT: 700,
+	},
+	"Titanium": {
+		Name: "Titanium", K: 6.7, Rho: 4430, Cp: 526, Emiss: 0.3,
+		E: 113.8e9, Nu: 0.342, CTE: 8.6e-6, Yield: 880e6,
+		FatigueB: -0.07, FatigueS: 1400e6, MaxServiceT: 600,
+	},
+	// FR4 with lumped copper layers is modelled separately by pcb helpers;
+	// this entry is bare dielectric.
+	"FR4": {
+		Name: "FR4", K: 0.3, KInPlane: 0.8, KThru: 0.3, Rho: 1850, Cp: 1100,
+		Emiss: 0.9, E: 22e9, Nu: 0.28, CTE: 16e-6, Yield: 310e6,
+		FatigueB: -0.12, FatigueS: 500e6, MaxServiceT: 403,
+	},
+	// Carbon-fibre composite as used for the COSEE composite seat frame —
+	// the paper stresses its "rather poor thermal conductivity" compared to
+	// aluminium.
+	"CarbonComposite": {
+		Name: "CarbonComposite", K: 5, KInPlane: 8, KThru: 0.8,
+		Rho: 1600, Cp: 900, Emiss: 0.88,
+		E: 70e9, Nu: 0.3, CTE: 2e-6, Yield: 600e6,
+		FatigueB: -0.07, FatigueS: 900e6, MaxServiceT: 420,
+	},
+	"Silicon": {
+		Name: "Silicon", K: 148, Rho: 2330, Cp: 712, Emiss: 0.6,
+		E: 130e9, Nu: 0.28, CTE: 2.6e-6, Yield: 7000e6,
+		MaxServiceT: 500,
+	},
+	"Alumina": {
+		Name: "Alumina", K: 27, Rho: 3900, Cp: 880, Emiss: 0.8,
+		E: 370e9, Nu: 0.22, CTE: 7.2e-6, Yield: 300e6,
+		MaxServiceT: 1000,
+	},
+	"AlN": {
+		Name: "AlN", K: 170, Rho: 3260, Cp: 740, Emiss: 0.85,
+		E: 330e9, Nu: 0.24, CTE: 4.5e-6, Yield: 300e6,
+		MaxServiceT: 1000,
+	},
+	"SolderSAC305": {
+		Name: "SolderSAC305", K: 58, Rho: 7400, Cp: 220, Emiss: 0.06,
+		E: 51e9, Nu: 0.36, CTE: 21.7e-6, Yield: 45e6,
+		FatigueB: -0.1, FatigueS: 100e6, MaxServiceT: 423,
+	},
+	"MoldCompound": {
+		Name: "MoldCompound", K: 0.9, Rho: 1970, Cp: 880, Emiss: 0.92,
+		E: 24e9, Nu: 0.3, CTE: 12e-6, Yield: 120e6,
+		MaxServiceT: 448,
+	},
+	// Annealed pyrolytic graphite / thermal drain material for conduction-
+	// cooled boards.
+	"ThermalDrain": {
+		Name: "ThermalDrain", K: 1200, KInPlane: 1600, KThru: 10,
+		Rho: 2260, Cp: 710, Emiss: 0.85,
+		E: 20e9, Nu: 0.25, CTE: 1e-6, Yield: 50e6,
+		MaxServiceT: 500,
+	},
+}
+
+// Get returns the named material from the built-in library.
+func Get(name string) (Material, error) {
+	m, ok := db[name]
+	if !ok {
+		return Material{}, fmt.Errorf("materials: unknown material %q", name)
+	}
+	return m, nil
+}
+
+// MustGet is Get but panics on unknown names; for use in package-level
+// variable initialisation and tests.
+func MustGet(name string) Material {
+	m, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns the sorted list of built-in material names.
+func Names() []string {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register adds (or replaces) a material in the library.  It returns an
+// error if the material has no name or non-positive density with a non-zero
+// specific heat, which would break transient solvers.
+func Register(m Material) error {
+	if m.Name == "" {
+		return fmt.Errorf("materials: cannot register unnamed material")
+	}
+	if m.K < 0 || m.Rho < 0 || m.Cp < 0 {
+		return fmt.Errorf("materials: %q has negative thermal properties", m.Name)
+	}
+	db[m.Name] = m
+	return nil
+}
+
+// PCB constructs an effective orthotropic laminate material for a printed
+// circuit board with the given copper coverage.  layers is the number of
+// copper layers, each ozCu ounces per square foot (1 oz = 35 µm),
+// coverage is the average fractional copper area per layer (0..1), and
+// boardThk is the total board thickness in metres.
+//
+// In-plane conductivity follows the parallel (rule-of-mixtures) bound and
+// through-plane the series bound — the standard level-2 lumping used when a
+// detailed layer stack is not simulated (paper §II.B, level 2).
+func PCB(layers int, ozCu, coverage, boardThk float64) Material {
+	fr4 := MustGet("FR4")
+	cu := MustGet("Copper")
+	tCu := float64(layers) * ozCu * 35e-6 * coverage
+	if tCu > boardThk {
+		tCu = boardThk
+	}
+	phi := tCu / boardThk // copper volume fraction
+	kin := phi*cu.K + (1-phi)*fr4.Kx()
+	kthru := 1 / (phi/cu.K + (1-phi)/fr4.Kz())
+	rho := phi*cu.Rho + (1-phi)*fr4.Rho
+	cp := (phi*cu.Rho*cu.Cp + (1-phi)*fr4.Rho*fr4.Cp) / rho
+	return Material{
+		Name:     fmt.Sprintf("PCB-%dL-%.1foz", layers, ozCu),
+		K:        kin,
+		KInPlane: kin,
+		KThru:    kthru,
+		Rho:      rho,
+		Cp:       cp,
+		Emiss:    0.9,
+		E:        fr4.E, Nu: fr4.Nu, CTE: fr4.CTE, Yield: fr4.Yield,
+		FatigueB: fr4.FatigueB, FatigueS: fr4.FatigueS,
+		MaxServiceT: fr4.MaxServiceT,
+	}
+}
+
+// Air returns the thermophysical properties of dry air at temperature T (K)
+// and standard pressure, using polynomial fits valid for 200–600 K.
+type AirProps struct {
+	Rho  float64 // density, kg/m³
+	Cp   float64 // specific heat, J/(kg·K)
+	K    float64 // thermal conductivity, W/(m·K)
+	Mu   float64 // dynamic viscosity, Pa·s
+	Nu   float64 // kinematic viscosity, m²/s
+	Pr   float64 // Prandtl number
+	Beta float64 // thermal expansion coefficient, 1/K (ideal gas: 1/T)
+}
+
+// Air evaluates dry-air properties at temperature T in kelvin and pressure
+// p in Pa (ideal-gas density scaling; transport properties are pressure-
+// independent at these conditions).
+func Air(T, p float64) AirProps {
+	if T < 150 {
+		T = 150
+	}
+	const Rair = 287.058
+	rho := p / (Rair * T)
+	// Sutherland's law for viscosity.
+	mu := 1.716e-5 * (T / 273.15) * math.Sqrt(T/273.15) * (273.15 + 110.4) / (T + 110.4)
+	// Conductivity: Sutherland-type fit.
+	k := 0.0241 * (T / 273.15) * math.Sqrt(T/273.15) * (273.15 + 194) / (T + 194)
+	cp := 1002.5 + 275e-6*(T-200)*(T-200) // weak quadratic rise
+	nu := mu / rho
+	pr := mu * cp / k
+	return AirProps{Rho: rho, Cp: cp, K: k, Mu: mu, Nu: nu, Pr: pr, Beta: 1 / T}
+}

@@ -1,0 +1,197 @@
+package materials
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aeropack/internal/units"
+)
+
+func TestGetKnown(t *testing.T) {
+	for _, name := range Names() {
+		m, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("material %q has Name %q", name, m.Name)
+		}
+		if m.K <= 0 && m.KInPlane <= 0 {
+			t.Errorf("material %q has no conductivity", name)
+		}
+		if m.Rho <= 0 || m.Cp <= 0 {
+			t.Errorf("material %q missing rho/cp", name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("unobtainium"); err == nil {
+		t.Fatal("expected error for unknown material")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic on unknown material")
+		}
+	}()
+	MustGet("unobtainium")
+}
+
+func TestRegister(t *testing.T) {
+	m := Material{Name: "TestAlloy", K: 10, Rho: 1000, Cp: 500}
+	if err := Register(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Get("TestAlloy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 10 {
+		t.Errorf("registered K = %v", got.K)
+	}
+	if err := Register(Material{}); err == nil {
+		t.Error("expected error for unnamed material")
+	}
+	if err := Register(Material{Name: "bad", K: -1}); err == nil {
+		t.Error("expected error for negative conductivity")
+	}
+}
+
+func TestOrthotropic(t *testing.T) {
+	al := MustGet("Al6061")
+	if al.Orthotropic() {
+		t.Error("Al6061 should be isotropic")
+	}
+	if al.Kx() != al.K || al.Kz() != al.K {
+		t.Error("isotropic fallback broken")
+	}
+	fr4 := MustGet("FR4")
+	if !fr4.Orthotropic() {
+		t.Error("FR4 laminate should be orthotropic")
+	}
+	if fr4.Kx() <= fr4.Kz() {
+		t.Errorf("FR4 in-plane (%v) should exceed through-plane (%v)", fr4.Kx(), fr4.Kz())
+	}
+}
+
+func TestDiffusivity(t *testing.T) {
+	al := MustGet("Al6061")
+	// Aluminium diffusivity ≈ 6.9e-5 m²/s.
+	if got := al.Diffusivity(); !units.ApproxEqual(got, 6.9e-5, 0.05) {
+		t.Errorf("Al6061 diffusivity = %v, want ≈6.9e-5", got)
+	}
+	var empty Material
+	if empty.Diffusivity() != 0 {
+		t.Error("empty material diffusivity should be 0")
+	}
+}
+
+func TestCompositeVsAluminium(t *testing.T) {
+	// The paper: composite seat has "rather poor thermal conductivity"
+	// compared to aluminium — our DB must preserve that ordering strongly.
+	al := MustGet("Al6061")
+	cc := MustGet("CarbonComposite")
+	if cc.Kx() > al.K/10 {
+		t.Errorf("composite k=%v not ≪ aluminium k=%v", cc.Kx(), al.K)
+	}
+}
+
+func TestPCBLumping(t *testing.T) {
+	// 8-layer 1 oz board, 50% coverage, 1.6 mm thick: classic numbers give
+	// in-plane k of a few tens of W/m·K, through-plane well below 1 W/m·K
+	// territory (slightly above bare FR4).
+	b := PCB(8, 1.0, 0.5, 1.6e-3)
+	if b.Kx() < 10 || b.Kx() > 60 {
+		t.Errorf("PCB in-plane k = %v, want 10–60", b.Kx())
+	}
+	if b.Kz() < 0.3 || b.Kz() > 1.0 {
+		t.Errorf("PCB through-plane k = %v, want 0.3–1.0", b.Kz())
+	}
+	if b.Kx() < b.Kz() {
+		t.Error("in-plane must exceed through-plane")
+	}
+	// More copper → higher conductivity, monotonically.
+	b2 := PCB(12, 2.0, 0.8, 1.6e-3)
+	if b2.Kx() <= b.Kx() {
+		t.Error("more copper should raise in-plane k")
+	}
+}
+
+func TestPCBCopperSaturation(t *testing.T) {
+	// Pathological input: copper thicker than the board must clamp, giving
+	// pure-copper properties, not k > k_Cu.
+	b := PCB(100, 3.0, 1.0, 0.5e-3)
+	cu := MustGet("Copper")
+	if b.Kx() > cu.K*1.0001 {
+		t.Errorf("clamped PCB k = %v exceeds copper %v", b.Kx(), cu.K)
+	}
+}
+
+func TestPCBBounds(t *testing.T) {
+	// Property: for any sane inputs the lumped conductivities respect the
+	// Wiener bounds (series ≤ effective ≤ parallel) relative to FR4/Cu.
+	fr4 := MustGet("FR4")
+	cu := MustGet("Copper")
+	f := func(layersRaw uint8, oz, cov float64) bool {
+		layers := int(layersRaw%16) + 1
+		oz = math.Abs(math.Mod(oz, 3)) + 0.1
+		cov = math.Abs(math.Mod(cov, 1))
+		b := PCB(layers, oz, cov, 1.6e-3)
+		return b.Kx() >= fr4.Kz()*0.999 && b.Kx() <= cu.K*1.001 &&
+			b.Kz() >= fr4.Kz()*0.999 && b.Kz() <= cu.K*1.001 &&
+			b.Kx() >= b.Kz()*0.999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirProperties(t *testing.T) {
+	a := Air(units.CToK(20), units.AtmPressure)
+	// Handbook values at 20 °C, 1 atm.
+	if !units.ApproxEqual(a.Rho, 1.204, 0.01) {
+		t.Errorf("air rho = %v, want ≈1.204", a.Rho)
+	}
+	if !units.ApproxEqual(a.K, 0.0257, 0.03) {
+		t.Errorf("air k = %v, want ≈0.0257", a.K)
+	}
+	if !units.ApproxEqual(a.Mu, 1.82e-5, 0.03) {
+		t.Errorf("air mu = %v, want ≈1.82e-5", a.Mu)
+	}
+	if a.Pr < 0.65 || a.Pr > 0.75 {
+		t.Errorf("air Pr = %v, want ≈0.7", a.Pr)
+	}
+	if !units.ApproxEqual(a.Beta, 1/units.CToK(20), 1e-9) {
+		t.Errorf("air beta = %v", a.Beta)
+	}
+}
+
+func TestAirTrends(t *testing.T) {
+	cold := Air(units.CToK(-45), units.AtmPressure) // thermal shock low end
+	hot := Air(units.CToK(85), units.AtmPressure)   // avionics ambient limit
+	if cold.Rho <= hot.Rho {
+		t.Error("density must fall with temperature")
+	}
+	if cold.Mu >= hot.Mu {
+		t.Error("viscosity must rise with temperature")
+	}
+	if cold.K >= hot.K {
+		t.Error("conductivity must rise with temperature")
+	}
+	// Low-temperature clamp: no NaNs below validity range.
+	a := Air(50, units.AtmPressure)
+	if math.IsNaN(a.K) || a.K <= 0 {
+		t.Errorf("clamped air props invalid: %+v", a)
+	}
+}
+
+func TestVolumetricHeatCapacity(t *testing.T) {
+	al := MustGet("Al6061")
+	if got := al.VolumetricHeatCapacity(); !units.ApproxEqual(got, 2700*896, 1e-12) {
+		t.Errorf("VolumetricHeatCapacity = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/linalg"
+)
+
+// DynResult is a base-excitation time history for a lumped system.
+type DynResult struct {
+	Times []float64
+	// RelDisp[node] is displacement relative to the base, m.
+	RelDisp map[string][]float64
+	// AbsAccG[node] is absolute acceleration in g.
+	AbsAccG map[string][]float64
+}
+
+// PeakAbsAccG returns the peak absolute acceleration (g) seen by a node.
+func (r *DynResult) PeakAbsAccG(node string) (float64, error) {
+	hist, ok := r.AbsAccG[node]
+	if !ok {
+		return 0, fmt.Errorf("mech: unknown node %q", node)
+	}
+	peak := 0.0
+	for _, a := range hist {
+		if a < 0 {
+			a = -a
+		}
+		if a > peak {
+			peak = a
+		}
+	}
+	return peak, nil
+}
+
+// PeakRelDisp returns the peak relative displacement (m) of a node —
+// the quantity isolator sway space is sized against.
+func (r *DynResult) PeakRelDisp(node string) (float64, error) {
+	hist, ok := r.RelDisp[node]
+	if !ok {
+		return 0, fmt.Errorf("mech: unknown node %q", node)
+	}
+	peak := 0.0
+	for _, d := range hist {
+		if d < 0 {
+			d = -d
+		}
+		if d > peak {
+			peak = d
+		}
+	}
+	return peak, nil
+}
+
+// BaseTransient integrates the system's response to a prescribed base
+// acceleration üb(t) (m/s²) using the unconditionally stable Newmark
+// average-acceleration method on the relative-coordinate equation
+// M·ÿ + C·ẏ + K·y = −M·1·üb.  The absolute acceleration reported is
+// ÿ + üb, converted to g.
+func (s *Lumped) BaseTransient(baseAccel func(t float64) float64, dt float64, steps int) (*DynResult, error) {
+	if baseAccel == nil || dt <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("mech: transient needs an excitation, positive dt and steps")
+	}
+	k, c, m, _, _, err := s.matrices()
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.labels)
+	const (
+		gamma = 0.5
+		beta  = 0.25
+	)
+	// Effective stiffness Keff = K + γ/(βΔt)·C + 1/(βΔt²)·M.
+	keff := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			keff.Set(i, j, k.At(i, j)+gamma/(beta*dt)*c.At(i, j)+1/(beta*dt*dt)*m.At(i, j))
+		}
+	}
+	lu, err := linalg.FactorLU(keff)
+	if err != nil {
+		return nil, fmt.Errorf("mech: effective stiffness singular: %w", err)
+	}
+
+	y := make([]float64, n)  // relative displacement
+	yd := make([]float64, n) // relative velocity
+	ya := make([]float64, n) // relative acceleration
+	// Initial acceleration from equilibrium at rest: M·ÿ = −M·1·üb(0).
+	ub0 := baseAccel(0)
+	for i := range ya {
+		ya[i] = -ub0
+	}
+
+	res := &DynResult{
+		RelDisp: make(map[string][]float64, n),
+		AbsAccG: make(map[string][]float64, n),
+	}
+	record := func(tm, ub float64) {
+		res.Times = append(res.Times, tm)
+		for i, name := range s.labels {
+			res.RelDisp[name] = append(res.RelDisp[name], y[i])
+			res.AbsAccG[name] = append(res.AbsAccG[name], (ya[i]+ub)/9.80665)
+		}
+	}
+	record(0, ub0)
+
+	rhs := make([]float64, n)
+	for step := 1; step <= steps; step++ {
+		tm := float64(step) * dt
+		ub := baseAccel(tm)
+		// Newmark predictors folded into the RHS:
+		// Keff·y₁ = F₁ + M·(y/βΔt² + ẏ/βΔt + (1/2β−1)·ÿ)
+		//          + C·(γ/βΔt·y + (γ/β−1)·ẏ + Δt(γ/2β−1)·ÿ).
+		for i := 0; i < n; i++ {
+			fm := y[i]/(beta*dt*dt) + yd[i]/(beta*dt) + (1/(2*beta)-1)*ya[i]
+			fc := gamma/(beta*dt)*y[i] + (gamma/beta-1)*yd[i] + dt*(gamma/(2*beta)-1)*ya[i]
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += m.At(i, j)*fm + c.At(i, j)*fc
+			}
+			// External force: −M·1·üb.
+			f := 0.0
+			for j := 0; j < n; j++ {
+				f -= m.At(i, j) * ub
+			}
+			rhs[i] = f + sum
+		}
+		y1 := lu.Solve(rhs)
+		// Correctors.
+		for i := 0; i < n; i++ {
+			ya1 := (y1[i]-y[i])/(beta*dt*dt) - yd[i]/(beta*dt) - (1/(2*beta)-1)*ya[i]
+			yd1 := yd[i] + dt*((1-gamma)*ya[i]+gamma*ya1)
+			y[i], yd[i], ya[i] = y1[i], yd1, ya1
+		}
+		record(tm, ub)
+	}
+	return res, nil
+}
+
+// HalfSineBase returns a base-acceleration function for a half-sine shock
+// pulse of amplitude ampG (g) and duration durS (s).
+func HalfSineBase(ampG, durS float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t < 0 || t > durS {
+			return 0
+		}
+		return ampG * 9.80665 * math.Sin(math.Pi*t/durS)
+	}
+}
+
+// SineBase returns a steady sinusoidal base acceleration of amplitude
+// ampG (g) at frequency f (Hz) — for resonance-dwell simulations.
+func SineBase(ampG, f float64) func(t float64) float64 {
+	w := 2 * math.Pi * f
+	return func(t float64) float64 {
+		return ampG * 9.80665 * math.Sin(w*t)
+	}
+}

@@ -1,0 +1,184 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+// sdofSystem builds a single mass on a grounded spring/damper.
+func sdofSystem(m, fn, zeta float64) *Lumped {
+	s := NewLumped()
+	s.AddMass("box", m)
+	k := m * math.Pow(2*math.Pi*fn, 2)
+	s.AddSpring("box", Ground, k)
+	s.AddDamper("box", Ground, 2*zeta*math.Sqrt(k*m))
+	return s
+}
+
+func TestNewmarkResonantDwellMatchesTransmissibility(t *testing.T) {
+	// Drive the SDOF at resonance: the steady-state absolute acceleration
+	// amplitude must approach T(1,ζ)·input = Q·input (for light damping).
+	const (
+		fn, zeta, ampG = 50.0, 0.05, 1.0
+	)
+	s := sdofSystem(2, fn, zeta)
+	dt := 1 / (fn * 60)
+	// 80 cycles: enough to pass the transient growth (τ ≈ Q cycles).
+	steps := int(80 / (fn * dt))
+	res, err := s.BaseTransient(SineBase(ampG, fn), dt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak over the last 10 cycles.
+	hist := res.AbsAccG["box"]
+	tail := hist[len(hist)-int(10/(fn*dt)):]
+	peak := 0.0
+	for _, a := range tail {
+		if math.Abs(a) > peak {
+			peak = math.Abs(a)
+		}
+	}
+	want, err := s.Transmissibility("box", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(peak, want*ampG, 0.05) {
+		t.Errorf("dwell peak %v g vs transmissibility prediction %v g", peak, want*ampG)
+	}
+}
+
+func TestNewmarkOffResonanceIsolation(t *testing.T) {
+	// Excite well above resonance: the mass barely moves in absolute terms.
+	s := sdofSystem(2, 30, 0.05)
+	dt := 1.0 / (300 * 40)
+	res, err := s.BaseTransient(SineBase(1, 300), dt, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := res.PeakAbsAccG("box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 0.3 {
+		t.Errorf("isolated mass sees %v g, want ≪1", peak)
+	}
+}
+
+func TestNewmarkHalfSineMatchesSRS(t *testing.T) {
+	// Cross-validation: the Newmark peak response to a half-sine base
+	// pulse must match the RK4-based vibration.HalfSineSRS within a few
+	// percent.  (The SRS implementation is independent of this solver.)
+	const (
+		ampG, dur = 20.0, 0.011
+		zeta      = 0.05
+	)
+	for _, fn := range []float64{40, 73, 200} {
+		s := sdofSystem(1.5, fn, zeta)
+		dt := math.Min(dur/400, 1/(fn*80))
+		steps := int((dur + 8/fn) / dt)
+		res, err := s.BaseTransient(HalfSineBase(ampG, dur), dt, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, err := res.PeakAbsAccG("box")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: the classical amplification bounds for a half-sine
+		// (≤ ~1.77 near the knee, → 1 at high frequency).
+		if peak < ampG*0.5 || peak > ampG*1.9 {
+			t.Errorf("fn=%v: Newmark peak %v g outside half-sine physics", fn, peak)
+		}
+	}
+}
+
+func TestNewmarkTwoDOFIsolatorProtectsPayload(t *testing.T) {
+	// Chassis on isolators with a payload on a stiff internal mount: the
+	// payload peak during a 30 g crash pulse must be far below the input.
+	s := NewLumped()
+	s.AddMass("chassis", 8)
+	s.AddMass("payload", 2)
+	kIso, _ := IsolatorStiffness(10, 35, 4)
+	for i := 0; i < 4; i++ {
+		s.AddSpring("chassis", Ground, kIso)
+	}
+	s.AddDamper("chassis", Ground, 2*0.15*math.Sqrt(4*kIso*10))
+	kMount := 2 * math.Pow(2*math.Pi*400, 2) // payload mode at 400 Hz
+	s.AddSpring("chassis", "payload", kMount)
+	s.AddDamper("chassis", "payload", 2*0.05*math.Sqrt(kMount*2))
+
+	// A short 2 ms / 40 g pulse: fn·D ≈ 0.07 for the 35 Hz mount, well
+	// into the isolation region of the half-sine SRS (an 11 ms pulse
+	// would sit near fn·D ≈ 0.4 and pass almost unattenuated).
+	res, err := s.BaseTransient(HalfSineBase(40, 0.002), 2e-5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := res.PeakAbsAccG("payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 20 {
+		t.Errorf("isolated payload sees %v g from a 40 g pulse, want strong attenuation", peak)
+	}
+	// Sway space: the chassis moves millimetres on its isolators.
+	sway, err := res.PeakRelDisp("chassis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sway < 0.5e-3 || sway > 30e-3 {
+		t.Errorf("isolator sway %v m implausible", sway)
+	}
+}
+
+func TestNewmarkEnergyDecay(t *testing.T) {
+	// After the pulse ends, a damped system's response envelope decays.
+	s := sdofSystem(1, 60, 0.08)
+	res, err := s.BaseTransient(HalfSineBase(10, 0.008), 1e-4, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := res.RelDisp["box"]
+	// Compare envelope over two late windows.
+	win := 500
+	peakA, peakB := 0.0, 0.0
+	for _, d := range hist[2000:2500] {
+		if math.Abs(d) > peakA {
+			peakA = math.Abs(d)
+		}
+	}
+	for _, d := range hist[len(hist)-win:] {
+		if math.Abs(d) > peakB {
+			peakB = math.Abs(d)
+		}
+	}
+	if peakB >= peakA {
+		t.Errorf("damped ring-down must decay: %v → %v", peakA, peakB)
+	}
+}
+
+func TestBaseTransientErrors(t *testing.T) {
+	s := sdofSystem(1, 60, 0.05)
+	if _, err := s.BaseTransient(nil, 1e-4, 100); err == nil {
+		t.Error("nil excitation should error")
+	}
+	if _, err := s.BaseTransient(SineBase(1, 60), -1, 100); err == nil {
+		t.Error("bad dt should error")
+	}
+	empty := NewLumped()
+	if _, err := empty.BaseTransient(SineBase(1, 60), 1e-4, 100); err == nil {
+		t.Error("empty system should error")
+	}
+	res, err := s.BaseTransient(SineBase(1, 60), 1e-4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.PeakAbsAccG("nope"); err == nil {
+		t.Error("unknown node should error")
+	}
+	if _, err := res.PeakRelDisp("nope"); err == nil {
+		t.Error("unknown node should error")
+	}
+}

@@ -1,0 +1,162 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/materials"
+)
+
+// PlateEdge enumerates the support conditions of a rectangular PCB.
+type PlateEdge int
+
+// Plate support configurations (all four edges).
+const (
+	// SSSS: simply supported on all edges — card guides on four sides.
+	SSSS PlateEdge = iota
+	// CCCC: clamped on all edges — bolted/bonded frame.
+	CCCC
+	// SSSF: simply supported on three edges, one free — typical plug-in
+	// card held by guides on three sides.
+	SSSF
+	// WedgeLocked: clamped on two opposite edges (wedge locks), free on
+	// the others — conduction-cooled modules.
+	WedgeLocked
+)
+
+// Plate is a rectangular PCB (or panel) for modal placement studies — the
+// tool behind the paper's Fig. 2 "power supply designed so that its main
+// resonant mode be located around 500 Hz".
+type Plate struct {
+	A, B      float64 // in-plane dimensions, m (A along x)
+	Thickness float64 // m
+	Material  materials.Material
+	Edges     PlateEdge
+	// MassLoadKgM2 is smeared component mass per area (components +
+	// conformal coat), kg/m².
+	MassLoadKgM2 float64
+}
+
+// FlexuralRigidity returns D = E·h³/(12(1−ν²)).
+func (p *Plate) FlexuralRigidity() float64 {
+	h := p.Thickness
+	return p.Material.E * h * h * h / (12 * (1 - p.Material.Nu*p.Material.Nu))
+}
+
+// arealMass returns structural plus component mass per area.
+func (p *Plate) arealMass() float64 {
+	return p.Material.Rho*p.Thickness + p.MassLoadKgM2
+}
+
+// Validate checks the plate definition.
+func (p *Plate) Validate() error {
+	if p.A <= 0 || p.B <= 0 || p.Thickness <= 0 {
+		return fmt.Errorf("mech: plate dimensions must be positive")
+	}
+	if p.Material.E <= 0 || p.Material.Rho <= 0 {
+		return fmt.Errorf("mech: plate material needs E and rho")
+	}
+	if p.MassLoadKgM2 < 0 {
+		return fmt.Errorf("mech: negative mass loading")
+	}
+	return nil
+}
+
+// FundamentalHz returns the first natural frequency using classical plate
+// theory with edge-condition coefficients (Leissa/Steinberg).
+func (p *Plate) FundamentalHz() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	d := p.FlexuralRigidity()
+	rho := p.arealMass()
+	a, b := p.A, p.B
+	r := a / b
+	var lambda float64 // ω = λ/a²·√(D/ρh)
+	switch p.Edges {
+	case SSSS:
+		lambda = math.Pi * math.Pi * (1 + r*r)
+	case CCCC:
+		// Leissa clamped-plate approximation.
+		lambda = 36.0 * math.Sqrt(1+0.605*r*r+r*r*r*r) / math.Sqrt(1.605)
+		// Normalised so a square clamped plate gives λ ≈ 35.99.
+	case SSSF:
+		// Steinberg: three supported edges, one free.
+		lambda = math.Pi * math.Pi * (1 + 0.5*r*r)
+	case WedgeLocked:
+		// Clamped-free-clamped-free ≈ clamped-clamped beam strip along x.
+		lambda = 22.37
+	default:
+		return 0, fmt.Errorf("mech: unknown edge condition")
+	}
+	w := lambda / (a * a) * math.Sqrt(d/rho)
+	return w / (2 * math.Pi), nil
+}
+
+// ModeHz returns the (m,n) mode frequency for a simply supported plate
+// (analytic); other edge conditions return an error.
+func (p *Plate) ModeHz(m, n int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if m < 1 || n < 1 {
+		return 0, fmt.Errorf("mech: mode indices must be ≥1")
+	}
+	if p.Edges != SSSS {
+		return 0, fmt.Errorf("mech: closed-form higher modes only for SSSS plates")
+	}
+	d := p.FlexuralRigidity()
+	rho := p.arealMass()
+	w := math.Pi * math.Pi * (math.Pow(float64(m)/p.A, 2) + math.Pow(float64(n)/p.B, 2)) *
+		math.Sqrt(d/rho)
+	return w / (2 * math.Pi), nil
+}
+
+// ThicknessForFrequency inverts FundamentalHz: the board thickness that
+// places the fundamental at target Hz (bisection over 0.4–10 mm).  This
+// is the designer's knob in the frequency-allocation exercise of Fig. 2.
+func (p *Plate) ThicknessForFrequency(target float64) (float64, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("mech: target frequency must be positive")
+	}
+	trial := *p
+	lo, hi := 0.4e-3, 10e-3
+	trial.Thickness = lo
+	flo, err := trial.FundamentalHz()
+	if err != nil {
+		return 0, err
+	}
+	trial.Thickness = hi
+	fhi, err := trial.FundamentalHz()
+	if err != nil {
+		return 0, err
+	}
+	if target < flo || target > fhi {
+		return 0, fmt.Errorf("mech: target %g Hz outside achievable band [%g, %g]", target, flo, fhi)
+	}
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		trial.Thickness = mid
+		f, err := trial.FundamentalHz()
+		if err != nil {
+			return 0, err
+		}
+		if f < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// OctaveRule checks Steinberg's octave rule: a component's local resonance
+// (or a subassembly's mode) should sit at least one octave above the
+// board/carrier mode that drives it.  Returns the ratio and pass flag.
+func OctaveRule(carrierHz, componentHz float64) (ratio float64, pass bool) {
+	if carrierHz <= 0 {
+		return math.Inf(1), true
+	}
+	ratio = componentHz / carrierHz
+	return ratio, ratio >= 2
+}

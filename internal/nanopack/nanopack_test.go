@@ -1,0 +1,151 @@
+package nanopack
+
+import (
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestProjectObjectives(t *testing.T) {
+	o := ProjectObjectives()
+	if o.ConductivityWmK != 20 || o.ResistanceKmm2W != 5 || o.BondLineUm != 20 {
+		t.Errorf("objectives %+v differ from the paper", o)
+	}
+}
+
+func TestDesignFlakeAdhesive(t *testing.T) {
+	// The mono-epoxy silver-flake product: 6 W/m·K.
+	d, err := DesignSilverAdhesive("flake", 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(d.PredictedK, 6.0, 1e-3) {
+		t.Errorf("predicted k = %v, want 6", d.PredictedK)
+	}
+	// Loading must be heavy but physical.
+	if d.FillerFraction < 0.3 || d.FillerFraction > 0.52 {
+		t.Errorf("flake loading = %v, implausible", d.FillerFraction)
+	}
+	// The library product the design realises measures in the same class
+	// on the virtual tester.
+	if d.MeasuredK < 3.5 || d.MeasuredK > 9 {
+		t.Errorf("measured k = %v, want ≈6", d.MeasuredK)
+	}
+	// Paper: electrically conductive at the 1e-4 Ω·cm class, 14 MPa shear.
+	if d.ElectricalOhmCm > 1e-3 {
+		t.Errorf("electrical resistivity = %v Ω·cm, want 1e-4 class", d.ElectricalOhmCm)
+	}
+	if d.ShearMPa != 14 {
+		t.Errorf("shear = %v MPa, paper reports 14", d.ShearMPa)
+	}
+}
+
+func TestDesignSphereAdhesive(t *testing.T) {
+	// The multi-epoxy micro-sphere product: 9.5 W/m·K.
+	d, err := DesignSilverAdhesive("sphere", 9.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(d.PredictedK, 9.5, 1e-3) {
+		t.Errorf("predicted k = %v, want 9.5", d.PredictedK)
+	}
+	// The D5470 reads apparent conductivity BLT/R_total, which the contact
+	// resistance pulls below the 9.5 W/m·K bulk value.
+	if d.MeasuredK < 4 || d.MeasuredK > 9.5 {
+		t.Errorf("apparent k = %v, want 4–9.5 (below bulk)", d.MeasuredK)
+	}
+	if d.MeasuredK >= d.PredictedK {
+		t.Error("apparent k should sit below the bulk prediction")
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	if _, err := DesignSilverAdhesive("cube", 5); err == nil {
+		t.Error("unknown filler should error")
+	}
+	if _, err := DesignSilverAdhesive("flake", 0.1); err == nil {
+		t.Error("sub-matrix target should error")
+	}
+	if _, err := DesignSilverAdhesive("flake", 400); err == nil {
+		t.Error("unreachable target should error")
+	}
+}
+
+func TestEvaluateHNC(t *testing.T) {
+	// The paper: HNC "has proven its efficiency to reduce the final bond
+	// line thickness by > 20% for the majority of TIMs".
+	res, err := EvaluateHNC(2e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MajorityHolds {
+		t.Errorf("majority of TIMs should beat 20%%: %v", res.Reductions)
+	}
+	if res.MeanReduction < 0.15 {
+		t.Errorf("mean reduction = %v, implausibly low", res.MeanReduction)
+	}
+	if len(res.Materials) != len(res.Reductions) {
+		t.Error("mismatched result slices")
+	}
+	for i, r := range res.Reductions {
+		if r < 0 || r > 0.9 {
+			t.Errorf("%s: reduction %v out of range", res.Materials[i], r)
+		}
+	}
+	if _, err := EvaluateHNC(-1); err == nil {
+		t.Error("bad pressure should error")
+	}
+}
+
+func TestValidateTester(t *testing.T) {
+	// Paper: ±1 K·mm²/W accuracy and ±2 µm thickness.
+	v, err := ValidateTester(11, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.MeetsAccuracy {
+		t.Errorf("tester accuracy %v K·mm²/W misses the ±1 spec", v.MaxAbsErrKmm2W)
+	}
+	if !v.MeetsThickness {
+		t.Errorf("tester thickness noise %v µm misses the ±2 spec", v.BLTStdUm)
+	}
+	if _, err := ValidateTester(1, 2); err == nil {
+		t.Error("too few shots should error")
+	}
+}
+
+func TestResultsToDate(t *testing.T) {
+	rows, err := ResultsToDate(2e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 products, got %d", len(rows))
+	}
+	byName := map[string]ProductReport{}
+	for _, r := range rows {
+		byName[r.Product] = r
+	}
+	// The adhesives are "close to" but below the 20 W/m·K objective…
+	flake := byName["nanopack-Ag-flake-mono"]
+	if flake.KWmK != 6 || flake.MeetsK {
+		t.Errorf("flake product: %+v", flake)
+	}
+	if flake.DistanceToGo <= 0 {
+		t.Error("flake product should have distance to go on k")
+	}
+	// …while the CNT composite reaches it.
+	cnt := byName["nanopack-CNT-composite"]
+	if !cnt.MeetsK || !cnt.MeetsR || !cnt.MeetsBLT {
+		t.Errorf("CNT composite should meet all objectives: %+v", cnt)
+	}
+	// All NANOPACK products beat the 5 K·mm²/W resistance objective.
+	for _, r := range rows {
+		if !r.MeetsR {
+			t.Errorf("%s misses the resistance objective (%v K·mm²/W)", r.Product, r.RKmm2W)
+		}
+	}
+	if _, err := ResultsToDate(0); err == nil {
+		t.Error("bad pressure should error")
+	}
+}

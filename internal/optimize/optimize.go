@@ -1,0 +1,144 @@
+// Package optimize provides the small derivative-free optimisation
+// routines aeropack's design helpers use: bracketed root finding, golden-
+// section scalar minimisation, and a bounded compass/pattern search for
+// low-dimensional design studies (isolator tuning, fin sizing, thickness
+// selection) — the "make the good choice for the architecture" loop of
+// the paper's design procedure, automated.
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bisect finds x in [lo, hi] with f(x) = 0 given a sign change, to
+// absolute tolerance tol on x.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if f == nil || !(hi > lo) {
+		return 0, fmt.Errorf("optimize: invalid bracket")
+	}
+	if tol <= 0 {
+		tol = 1e-10 * math.Max(1, math.Abs(hi))
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, fmt.Errorf("optimize: no sign change on [%g, %g]", lo, hi)
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if flo*fm < 0 {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	_ = fhi
+	return 0.5 * (lo + hi), nil
+}
+
+// GoldenSection minimises a unimodal f on [lo, hi] to x-tolerance tol.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
+	if f == nil || !(hi > lo) {
+		return 0, 0, fmt.Errorf("optimize: invalid interval")
+	}
+	if tol <= 0 {
+		tol = 1e-9 * math.Max(1, math.Abs(hi))
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 400 && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = 0.5 * (a + b)
+	return x, f(x), nil
+}
+
+// Bounds is a per-dimension box constraint.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// PatternSearch minimises f over box-bounded R^n with a compass search
+// starting from x0 and step fractions shrinking from 25% of each range
+// down to tolFrac (default 1e-6).  Deterministic and derivative-free —
+// suited to the noisy, kinked objectives design models produce.
+func PatternSearch(f func([]float64) float64, x0 []float64, bounds []Bounds, tolFrac float64) ([]float64, float64, error) {
+	n := len(x0)
+	if f == nil || n == 0 || len(bounds) != n {
+		return nil, 0, fmt.Errorf("optimize: invalid pattern-search setup")
+	}
+	for i, b := range bounds {
+		if !(b.Hi > b.Lo) {
+			return nil, 0, fmt.Errorf("optimize: bounds %d invalid", i)
+		}
+		if x0[i] < b.Lo || x0[i] > b.Hi {
+			return nil, 0, fmt.Errorf("optimize: start point outside bounds in dim %d", i)
+		}
+	}
+	if tolFrac <= 0 {
+		tolFrac = 1e-6
+	}
+	x := append([]float64(nil), x0...)
+	fx := f(x)
+	step := 0.25
+	trial := make([]float64, n)
+	for step > tolFrac {
+		improved := false
+		for i := 0; i < n; i++ {
+			d := step * (bounds[i].Hi - bounds[i].Lo)
+			for _, dir := range []float64{+1, -1} {
+				copy(trial, x)
+				trial[i] = clamp(x[i]+dir*d, bounds[i].Lo, bounds[i].Hi)
+				if trial[i] == x[i] {
+					continue
+				}
+				if fv := f(trial); fv < fx {
+					copy(x, trial)
+					fx = fv
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return x, fx, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Maximize1D is GoldenSection on −f, returning the argmax and max.
+func Maximize1D(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
+	x, neg, err := GoldenSection(func(v float64) float64 { return -f(v) }, lo, hi, tol)
+	return x, -neg, err
+}

@@ -1,0 +1,191 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aeropack/internal/units"
+	"aeropack/internal/vibration"
+)
+
+func TestBisect(t *testing.T) {
+	// √2 as the root of x²−2.
+	x, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(x, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v", x)
+	}
+	// Endpoint roots returned directly.
+	if r, _ := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9); r != 0 {
+		t.Errorf("endpoint root = %v", r)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Error("no sign change should error")
+	}
+	if _, err := Bisect(nil, 0, 1, 1e-9); err == nil {
+		t.Error("nil function should error")
+	}
+	if _, err := Bisect(func(x float64) float64 { return x }, 2, 1, 1e-9); err == nil {
+		t.Error("inverted bracket should error")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	// (x−3)² + 1 on [0,10].
+	x, fx, err := GoldenSection(func(x float64) float64 { return (x-3)*(x-3) + 1 }, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(x, 3, 1e-7) || !units.ApproxEqual(fx, 1, 1e-9) {
+		t.Errorf("min at %v, f=%v", x, fx)
+	}
+	// Non-quadratic unimodal.
+	x2, _, err := GoldenSection(func(x float64) float64 { return math.Cosh(x - 1.7) }, -5, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(x2, 1.7, 1e-6) {
+		t.Errorf("cosh min at %v", x2)
+	}
+	if _, _, err := GoldenSection(nil, 0, 1, 1e-9); err == nil {
+		t.Error("nil f should error")
+	}
+}
+
+func TestMaximize1D(t *testing.T) {
+	x, fx, err := Maximize1D(func(x float64) float64 { return -(x - 2) * (x - 2) }, 0, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(x, 2, 1e-6) || math.Abs(fx) > 1e-10 {
+		t.Errorf("max at %v, f=%v", x, fx)
+	}
+}
+
+func TestPatternSearchRosenbrockish(t *testing.T) {
+	// A bent quadratic valley in 2-D.
+	f := func(v []float64) float64 {
+		a := v[0] - 1
+		b := v[1] - v[0]*v[0]
+		return a*a + 5*b*b
+	}
+	x, fx, err := PatternSearch(f, []float64{-1, 2},
+		[]Bounds{{-2, 2}, {-1, 4}}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-4 {
+		t.Errorf("pattern search stalled at f=%v, x=%v", fx, x)
+	}
+	if !units.ApproxEqual(x[0], 1, 0.02) || !units.ApproxEqual(x[1], 1, 0.05) {
+		t.Errorf("minimum at %v, want (1,1)", x)
+	}
+}
+
+func TestPatternSearchRespectsBounds(t *testing.T) {
+	// Unconstrained minimum outside the box: solution pins to the bound.
+	f := func(v []float64) float64 { return (v[0] - 10) * (v[0] - 10) }
+	x, _, err := PatternSearch(f, []float64{0}, []Bounds{{-1, 2}}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(x[0], 2, 1e-4) {
+		t.Errorf("bounded min at %v, want the 2.0 bound", x[0])
+	}
+}
+
+func TestPatternSearchValidation(t *testing.T) {
+	if _, _, err := PatternSearch(nil, []float64{0}, []Bounds{{0, 1}}, 0); err == nil {
+		t.Error("nil f should error")
+	}
+	f := func(v []float64) float64 { return v[0] }
+	if _, _, err := PatternSearch(f, []float64{0}, []Bounds{{1, 0}}, 0); err == nil {
+		t.Error("inverted bounds should error")
+	}
+	if _, _, err := PatternSearch(f, []float64{5}, []Bounds{{0, 1}}, 0); err == nil {
+		t.Error("out-of-bounds start should error")
+	}
+}
+
+// TestIsolatorTuningApplication exercises the intended use: pick the
+// mount frequency and damping that minimise an IMU's random response on
+// DO-160 C1, subject to a sway-space bound enforced by penalty.
+func TestIsolatorTuningApplication(t *testing.T) {
+	psd, err := vibration.DO160("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objective := func(v []float64) float64 {
+		fn, zeta := v[0], v[1]
+		g, err := vibration.ResponseRMS(psd, fn, zeta)
+		if err != nil {
+			return math.Inf(1)
+		}
+		// Sway-space penalty: 3σ relative displacement ≤ 4 mm.
+		sway := vibration.BoardDisp3Sigma(g, fn)
+		if sway > 4e-3 {
+			return g + 100*(sway*1e3-4)
+		}
+		return g
+	}
+	x, fx, err := PatternSearch(objective, []float64{60, 0.1},
+		[]Bounds{{20, 300}, {0.02, 0.5}}, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum must beat the naive 45 Hz / ζ=0.1 design.
+	naive, _ := vibration.ResponseRMS(psd, 45, 0.1)
+	if fx >= naive {
+		t.Errorf("optimised response %v should beat naive %v", fx, naive)
+	}
+	// And respect the sway constraint.
+	sway := vibration.BoardDisp3Sigma(fx, x[0])
+	if sway > 4.5e-3 {
+		t.Errorf("optimum violates sway space: %v m", sway)
+	}
+	// Sanity: optimum damping is high (damping always helps this metric).
+	if x[1] < 0.2 {
+		t.Errorf("optimum ζ = %v, expected to push high", x[1])
+	}
+}
+
+func TestGoldenSectionQuadraticProperty(t *testing.T) {
+	// Property (testing/quick): golden section recovers the vertex of
+	// random upward parabolas inside the bracket.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := -5 + rng.Float64()*10
+		a := 0.1 + rng.Float64()*10
+		x, _, err := GoldenSection(func(x float64) float64 {
+			return a * (x - v) * (x - v)
+		}, -10, 10, 1e-10)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-v) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectMonotoneProperty(t *testing.T) {
+	// Property: bisection finds the root of random increasing cubics.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := -3 + rng.Float64()*6
+		g := func(x float64) float64 { return (x - r) * (1 + (x-r)*(x-r)) }
+		x, err := Bisect(g, -10, 10, 1e-12)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-r) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package radiation implements grey-body surface radiation exchange:
+// analytic view factors for the plate configurations common in card cages
+// and sealed boxes, and a radiosity network solver for N-surface
+// enclosures.  It backs the sealed-equipment cases (paper §III: "radiation
+// and free convection in the air") where radiation carries a comparable
+// share of the load to natural convection.
+package radiation
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/linalg"
+	"aeropack/internal/units"
+)
+
+// ViewFactorParallelRects returns the view factor F₁₂ between two directly
+// opposed, aligned a×b rectangles separated by distance c (standard
+// Hottel/Incropera chart formula).
+func ViewFactorParallelRects(a, b, c float64) (float64, error) {
+	if a <= 0 || b <= 0 || c <= 0 {
+		return 0, fmt.Errorf("radiation: dimensions must be positive")
+	}
+	X := a / c
+	Y := b / c
+	x2 := 1 + X*X
+	y2 := 1 + Y*Y
+	term1 := math.Log(math.Sqrt(x2 * y2 / (x2 + Y*Y)))
+	term2 := X * math.Sqrt(y2) * math.Atan(X/math.Sqrt(y2))
+	term3 := Y * math.Sqrt(x2) * math.Atan(Y/math.Sqrt(x2))
+	term4 := X*math.Atan(X) + Y*math.Atan(Y)
+	f := 2 / (math.Pi * X * Y) * (term1 + term2 + term3 - term4)
+	return f, nil
+}
+
+// ViewFactorPerpendicularRects returns F₁₂ for two rectangles sharing a
+// common edge of length l and forming a 90° corner: surface 1 is l×w1 and
+// surface 2 is l×w2 (Incropera eq. 13.8, H = w2/l, W = w1/l).
+func ViewFactorPerpendicularRects(l, w1, w2 float64) (float64, error) {
+	if l <= 0 || w1 <= 0 || w2 <= 0 {
+		return 0, fmt.Errorf("radiation: dimensions must be positive")
+	}
+	H := w2 / l
+	W := w1 / l
+	h2 := H * H
+	w2s := W * W
+	a := W * math.Atan(1/W)
+	b := H * math.Atan(1/H)
+	c := math.Sqrt(h2+w2s) * math.Atan(1/math.Sqrt(h2+w2s))
+	lg := math.Log((1 + w2s) * (1 + h2) / (1 + w2s + h2))
+	lg += w2s * math.Log(w2s*(1+w2s+h2)/((1+w2s)*(w2s+h2)))
+	lg += h2 * math.Log(h2*(1+h2+w2s)/((1+h2)*(h2+w2s)))
+	f := (a + b - c + 0.25*lg) / (math.Pi * W)
+	return f, nil
+}
+
+// TwoSurfaceExchange returns the net radiative heat flow (W) from surface
+// 1 to surface 2 for two grey diffuse surfaces forming an enclosure with
+// view factor f12: q = σ(T1⁴−T2⁴)/(ρ₁/(ε₁A₁) + 1/(A₁F₁₂) + ρ₂/(ε₂A₂)).
+func TwoSurfaceExchange(a1, eps1, T1, a2, eps2, T2, f12 float64) (float64, error) {
+	if a1 <= 0 || a2 <= 0 || f12 <= 0 || f12 > 1 {
+		return 0, fmt.Errorf("radiation: invalid areas or view factor")
+	}
+	if eps1 <= 0 || eps1 > 1 || eps2 <= 0 || eps2 > 1 {
+		return 0, fmt.Errorf("radiation: emissivities must be in (0,1]")
+	}
+	r := (1-eps1)/(eps1*a1) + 1/(a1*f12) + (1-eps2)/(eps2*a2)
+	return units.StefanBoltzmann * (math.Pow(T1, 4) - math.Pow(T2, 4)) / r, nil
+}
+
+// RadiativeCoefficient linearises radiation between a surface at Ts and
+// surroundings at Ta: h_rad = εσ(Ts²+Ta²)(Ts+Ta), in W/(m²·K).
+func RadiativeCoefficient(eps, Ts, Ta float64) float64 {
+	if eps <= 0 {
+		return 0
+	}
+	return eps * units.StefanBoltzmann * (Ts*Ts + Ta*Ta) * (Ts + Ta)
+}
+
+// Surface is one grey diffuse surface of an enclosure.
+type Surface struct {
+	Name  string
+	Area  float64 // m²
+	Emiss float64 // (0,1]
+	T     float64 // K (used when solving for flux)
+}
+
+// Enclosure is an N-surface radiosity problem with a full view-factor
+// matrix F where F[i][j] is the fraction of radiation leaving i that
+// reaches j.  Rows must sum to 1 for a closed enclosure.
+type Enclosure struct {
+	Surfaces []Surface
+	F        [][]float64
+}
+
+// Validate checks the enclosure's consistency: square F, rows summing to
+// ≈1, and reciprocity Aᵢ·Fᵢⱼ = Aⱼ·Fⱼᵢ within tolerance.
+func (e *Enclosure) Validate(tol float64) error {
+	n := len(e.Surfaces)
+	if n == 0 {
+		return fmt.Errorf("radiation: enclosure has no surfaces")
+	}
+	if len(e.F) != n {
+		return fmt.Errorf("radiation: F has %d rows, want %d", len(e.F), n)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	for i, row := range e.F {
+		if len(row) != n {
+			return fmt.Errorf("radiation: F row %d has %d cols, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("radiation: F[%d] contains value outside [0,1]", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			return fmt.Errorf("radiation: F row %d sums to %g, want 1 (closed enclosure)", i, sum)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if e.Surfaces[i].Area <= 0 {
+			return fmt.Errorf("radiation: surface %d area must be positive", i)
+		}
+		if e.Surfaces[i].Emiss <= 0 || e.Surfaces[i].Emiss > 1 {
+			return fmt.Errorf("radiation: surface %d emissivity must be in (0,1]", i)
+		}
+		for j := 0; j < n; j++ {
+			lhs := e.Surfaces[i].Area * e.F[i][j]
+			rhs := e.Surfaces[j].Area * e.F[j][i]
+			if math.Abs(lhs-rhs) > tol*(1+math.Abs(lhs)) {
+				return fmt.Errorf("radiation: reciprocity violated between %d and %d (%g vs %g)", i, j, lhs, rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// SolveNetFlux solves the radiosity system for the given surface
+// temperatures and returns the net heat flow (W, positive leaving) per
+// surface.  Fluxes sum to ≈0 for a closed enclosure.
+func (e *Enclosure) SolveNetFlux() ([]float64, error) {
+	if err := e.Validate(1e-6); err != nil {
+		return nil, err
+	}
+	n := len(e.Surfaces)
+	// Radiosity J solves (δij − (1−εi)·Fij)·Jj = εi·σ·Ti⁴.
+	a := linalg.NewDense(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		si := e.Surfaces[i]
+		for j := 0; j < n; j++ {
+			v := -(1 - si.Emiss) * e.F[i][j]
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+		b[i] = si.Emiss * units.StefanBoltzmann * math.Pow(si.T, 4)
+	}
+	j, err := linalg.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("radiation: radiosity solve failed: %w", err)
+	}
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		si := e.Surfaces[i]
+		// Net flux qᵢ = Aᵢ·(Jᵢ − Gᵢ), G = Σ Fij·Jj.
+		g := 0.0
+		for jj := 0; jj < n; jj++ {
+			g += e.F[i][jj] * j[jj]
+		}
+		q[i] = si.Area * (j[i] - g)
+	}
+	return q, nil
+}

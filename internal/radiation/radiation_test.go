@@ -1,0 +1,191 @@
+package radiation
+
+import (
+	"math"
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestViewFactorParallelLimits(t *testing.T) {
+	// Very close plates: F → 1.
+	f, err := ViewFactorParallelRects(1, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.99 || f > 1 {
+		t.Errorf("close plates F = %v, want →1", f)
+	}
+	// Very distant plates: F → 0.
+	f, _ = ViewFactorParallelRects(1, 1, 100)
+	if f > 0.001 {
+		t.Errorf("distant plates F = %v, want →0", f)
+	}
+	// Chart value: unit squares at unit distance, F ≈ 0.1998.
+	f, _ = ViewFactorParallelRects(1, 1, 1)
+	if !units.ApproxEqual(f, 0.1998, 0.01) {
+		t.Errorf("unit-square F = %v, want ≈0.20", f)
+	}
+	if _, err := ViewFactorParallelRects(0, 1, 1); err == nil {
+		t.Error("degenerate dims should error")
+	}
+}
+
+func TestViewFactorPerpendicular(t *testing.T) {
+	// Equal square plates sharing an edge: F ≈ 0.20004.
+	f, err := ViewFactorPerpendicularRects(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(f, 0.2, 0.02) {
+		t.Errorf("perpendicular square F = %v, want ≈0.20", f)
+	}
+	// Reciprocity for unequal plates: A1·F12 = A2·F21.
+	f12, _ := ViewFactorPerpendicularRects(1, 0.5, 2)
+	f21, _ := ViewFactorPerpendicularRects(1, 2, 0.5)
+	if !units.ApproxEqual(1*0.5*f12, 1*2*f21, 1e-6) {
+		t.Errorf("reciprocity broken: %v vs %v", 0.5*f12, 2*f21)
+	}
+	if _, err := ViewFactorPerpendicularRects(1, -1, 1); err == nil {
+		t.Error("degenerate dims should error")
+	}
+}
+
+func TestTwoSurfaceExchangeBlackBodyPlates(t *testing.T) {
+	// Two close black plates: q = σA(T1⁴−T2⁴).
+	q, err := TwoSurfaceExchange(1, 1, 400, 1, 1, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.StefanBoltzmann * (math.Pow(400, 4) - math.Pow(300, 4))
+	if !units.ApproxEqual(q, want, 1e-9) {
+		t.Errorf("black plates q = %v, want %v", q, want)
+	}
+	// Grey surfaces reduce exchange.
+	qGrey, _ := TwoSurfaceExchange(1, 0.5, 400, 1, 0.5, 300, 1)
+	if qGrey >= q {
+		t.Error("grey exchange must be below black")
+	}
+	// Anti-symmetric in temperatures.
+	qRev, _ := TwoSurfaceExchange(1, 0.5, 300, 1, 0.5, 400, 1)
+	if !units.ApproxEqual(qRev, -qGrey, 1e-9) {
+		t.Error("exchange should be antisymmetric")
+	}
+	if _, err := TwoSurfaceExchange(0, 1, 400, 1, 1, 300, 1); err == nil {
+		t.Error("zero area should error")
+	}
+	if _, err := TwoSurfaceExchange(1, 2, 400, 1, 1, 300, 1); err == nil {
+		t.Error("emissivity > 1 should error")
+	}
+}
+
+func TestRadiativeCoefficient(t *testing.T) {
+	// ε=0.9 surface at 85 °C facing 25 °C surroundings: h_rad ≈ 7 W/m²K —
+	// comparable to natural convection, which is why sealed avionics boxes
+	// must be anodized/painted (high ε).
+	h := RadiativeCoefficient(0.9, units.CToK(85), units.CToK(25))
+	if h < 5.5 || h > 8.5 {
+		t.Errorf("h_rad = %v, want ≈7", h)
+	}
+	if RadiativeCoefficient(0, 400, 300) != 0 {
+		t.Error("zero emissivity gives zero coefficient")
+	}
+	// Linearisation consistency: q = h·ΔT equals exact σε(T⁴ difference).
+	Ts, Ta := 360.0, 300.0
+	exact := 0.8 * units.StefanBoltzmann * (math.Pow(Ts, 4) - math.Pow(Ta, 4))
+	lin := RadiativeCoefficient(0.8, Ts, Ta) * (Ts - Ta)
+	if !units.ApproxEqual(exact, lin, 1e-9) {
+		t.Errorf("linearisation inconsistent: %v vs %v", exact, lin)
+	}
+}
+
+// twoPlateEnclosure builds the classic two-parallel-plate enclosure where
+// each plate sees only the other (F12 = F21 = 1).
+func twoPlateEnclosure(eps1, T1, eps2, T2 float64) *Enclosure {
+	return &Enclosure{
+		Surfaces: []Surface{
+			{Name: "hot", Area: 1, Emiss: eps1, T: T1},
+			{Name: "cold", Area: 1, Emiss: eps2, T: T2},
+		},
+		F: [][]float64{{0, 1}, {1, 0}},
+	}
+}
+
+func TestEnclosureTwoPlatesMatchesAnalytic(t *testing.T) {
+	// Infinite parallel grey plates: q = σ(T1⁴−T2⁴)/(1/ε1 + 1/ε2 − 1).
+	e := twoPlateEnclosure(0.8, 420, 0.6, 320)
+	q, err := e.SolveNetFlux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.StefanBoltzmann * (math.Pow(420, 4) - math.Pow(320, 4)) / (1/0.8 + 1/0.6 - 1)
+	if !units.ApproxEqual(q[0], want, 1e-9) {
+		t.Errorf("net flux = %v, want %v", q[0], want)
+	}
+	// Closed enclosure: fluxes sum to zero.
+	if math.Abs(q[0]+q[1]) > 1e-9*math.Abs(q[0]) {
+		t.Errorf("fluxes do not balance: %v", q)
+	}
+}
+
+func TestEnclosureThreeSurface(t *testing.T) {
+	// Equilateral triangular cavity (2-D analogy): each surface sees the
+	// other two equally, F = 0.5 each.  Equal areas and emissivities, two
+	// hot one cold: hot surfaces lose, cold gains, total zero.
+	e := &Enclosure{
+		Surfaces: []Surface{
+			{Name: "a", Area: 1, Emiss: 0.9, T: 400},
+			{Name: "b", Area: 1, Emiss: 0.9, T: 400},
+			{Name: "c", Area: 1, Emiss: 0.9, T: 300},
+		},
+		F: [][]float64{
+			{0, 0.5, 0.5},
+			{0.5, 0, 0.5},
+			{0.5, 0.5, 0},
+		},
+	}
+	q, err := e.SolveNetFlux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] <= 0 || q[1] <= 0 || q[2] >= 0 {
+		t.Errorf("flux signs wrong: %v", q)
+	}
+	if math.Abs(q[0]+q[1]+q[2]) > 1e-8*math.Abs(q[2]) {
+		t.Errorf("enclosure not balanced: %v", q)
+	}
+	// Symmetry: the two hot surfaces are identical.
+	if !units.ApproxEqual(q[0], q[1], 1e-9) {
+		t.Errorf("symmetric surfaces differ: %v vs %v", q[0], q[1])
+	}
+}
+
+func TestEnclosureValidation(t *testing.T) {
+	e := &Enclosure{}
+	if err := e.Validate(0); err == nil {
+		t.Error("empty enclosure should fail")
+	}
+	// Rows not summing to 1.
+	bad := twoPlateEnclosure(0.8, 400, 0.8, 300)
+	bad.F[0][1] = 0.5
+	if err := bad.Validate(0); err == nil {
+		t.Error("open row sum should fail")
+	}
+	// Reciprocity violation via unequal areas with symmetric F.
+	rec := twoPlateEnclosure(0.8, 400, 0.8, 300)
+	rec.Surfaces[1].Area = 2
+	if err := rec.Validate(0); err == nil {
+		t.Error("reciprocity violation should fail")
+	}
+	// Bad emissivity.
+	eps := twoPlateEnclosure(0, 400, 0.8, 300)
+	if err := eps.Validate(0); err == nil {
+		t.Error("zero emissivity should fail")
+	}
+	// Mis-shaped F.
+	mis := twoPlateEnclosure(0.8, 400, 0.8, 300)
+	mis.F = mis.F[:1]
+	if err := mis.Validate(0); err == nil {
+		t.Error("short F should fail")
+	}
+}

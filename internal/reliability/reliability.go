@@ -1,0 +1,315 @@
+// Package reliability implements the failure-rate and lifetime
+// calculations the paper's level-3 junction temperatures feed ("the
+// temperature will be used as an input data for the safety and reliability
+// calculations — typical MTBF for aerospace applications is about
+// 40,000 h").
+//
+// The model is a MIL-HDBK-217F-class parts-stress method: per-part base
+// failure rates scaled by an Arrhenius temperature factor, a quality
+// factor and an application-environment factor, rolled up in series.
+// Norris–Landzberg / Coffin–Manson give thermal-cycling solder fatigue.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aeropack/internal/units"
+)
+
+// Environment is the 217F-style application environment.
+type Environment int
+
+// Application environments, mildest first.
+const (
+	GroundBenign Environment = iota
+	GroundFixed
+	AirborneInhabitedCargo
+	AirborneInhabitedFighter
+	AirborneUninhabitedCargo
+	AirborneUninhabitedFighter
+	SpaceFlight
+	Launch
+)
+
+// piE returns the environment factor.
+func (e Environment) piE() (float64, error) {
+	switch e {
+	case GroundBenign:
+		return 0.5, nil
+	case GroundFixed:
+		return 2.0, nil
+	case AirborneInhabitedCargo:
+		return 4.0, nil
+	case AirborneInhabitedFighter:
+		return 5.0, nil
+	case AirborneUninhabitedCargo:
+		return 5.5, nil
+	case AirborneUninhabitedFighter:
+		return 8.0, nil
+	case SpaceFlight:
+		return 0.5, nil
+	case Launch:
+		return 12.0, nil
+	}
+	return 0, fmt.Errorf("reliability: unknown environment %d", int(e))
+}
+
+// String names the environment.
+func (e Environment) String() string {
+	names := []string{"GB", "GF", "AIC", "AIF", "AUC", "AUF", "SF", "ML"}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("Env(%d)", int(e))
+}
+
+// Quality is the part screening level.
+type Quality int
+
+// Screening levels.
+const (
+	QualSpace Quality = iota // class S
+	QualMil                  // class B / mil-screened
+	QualIndustrial
+	QualCommercial // COTS plastic — the paper's cost play
+)
+
+func (q Quality) piQ() (float64, error) {
+	switch q {
+	case QualSpace:
+		return 0.25, nil
+	case QualMil:
+		return 1.0, nil
+	case QualIndustrial:
+		return 3.0, nil
+	case QualCommercial:
+		return 6.0, nil
+	}
+	return 0, fmt.Errorf("reliability: unknown quality %d", int(q))
+}
+
+// Arrhenius returns the acceleration factor between junction temperatures
+// Tuse and Tstress (K) for activation energy ea (eV): failures accelerate
+// by this factor at the hotter temperature.
+func Arrhenius(ea, Tuse, Tstress float64) float64 {
+	if Tuse <= 0 || Tstress <= 0 {
+		return math.NaN()
+	}
+	return math.Exp(ea / units.BoltzmannEV * (1/Tuse - 1/Tstress))
+}
+
+// Part is one reliability item on the bill of materials.
+type Part struct {
+	Name string
+	// BaseFIT is the base failure rate in FIT (failures per 10⁹ h) at the
+	// reference junction temperature TRef and GB environment, mil quality.
+	BaseFIT float64
+	// EaEV is the Arrhenius activation energy, eV (typical 0.3–0.8).
+	EaEV float64
+	// TRef is the reference junction temperature, K (default 313.15 =
+	// 40 °C if zero).
+	TRef float64
+	// Quality screening level.
+	Quality Quality
+	// Quantity of identical parts.
+	Quantity int
+}
+
+// FITAt returns the part's failure rate (total for Quantity parts, FIT)
+// at junction temperature tj in environment env.
+func (p *Part) FITAt(tj float64, env Environment) (float64, error) {
+	if p.BaseFIT < 0 || p.Quantity < 1 {
+		return 0, fmt.Errorf("reliability: part %q invalid", p.Name)
+	}
+	tref := p.TRef
+	if tref == 0 {
+		tref = 313.15
+	}
+	piT := Arrhenius(p.EaEV, tref, tj)
+	if math.IsNaN(piT) {
+		return 0, fmt.Errorf("reliability: invalid junction temperature %g", tj)
+	}
+	piE, err := env.piE()
+	if err != nil {
+		return 0, err
+	}
+	piQ, err := p.Quality.piQ()
+	if err != nil {
+		return 0, err
+	}
+	return p.BaseFIT * piT * piE * piQ * float64(p.Quantity), nil
+}
+
+// Board is a series reliability roll-up of parts.
+type Board struct {
+	Name  string
+	Parts []Part
+}
+
+// Contribution is one part's share of the failure budget.
+type Contribution struct {
+	Name     string
+	FIT      float64
+	Fraction float64
+}
+
+// Prediction is the roll-up result.
+type Prediction struct {
+	TotalFIT      float64
+	MTBFHours     float64
+	Contributions []Contribution // descending FIT
+}
+
+// Predict computes the series MTBF with per-part junction temperatures:
+// tj maps part name to junction kelvin; parts absent from the map run at
+// fallbackTj.
+func (b *Board) Predict(tj map[string]float64, fallbackTj float64, env Environment) (*Prediction, error) {
+	if len(b.Parts) == 0 {
+		return nil, fmt.Errorf("reliability: board %q has no parts", b.Name)
+	}
+	var total float64
+	contribs := make([]Contribution, 0, len(b.Parts))
+	for i := range b.Parts {
+		p := &b.Parts[i]
+		t, ok := tj[p.Name]
+		if !ok {
+			t = fallbackTj
+		}
+		fit, err := p.FITAt(t, env)
+		if err != nil {
+			return nil, err
+		}
+		total += fit
+		contribs = append(contribs, Contribution{Name: p.Name, FIT: fit})
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("reliability: zero total failure rate")
+	}
+	for i := range contribs {
+		contribs[i].Fraction = contribs[i].FIT / total
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i].FIT > contribs[j].FIT })
+	return &Prediction{
+		TotalFIT:      total,
+		MTBFHours:     1 / units.FIT(total), // = 1e9/total hours
+		Contributions: contribs,
+	}, nil
+}
+
+// CoffinManson returns the cycles-to-failure of a solder joint under
+// thermal cycling of range dT (K): Nf = C·dT^(−q).  C and q default to
+// SAC305 values (C = 4.5e5 at q = 2.0 against dT in K) when zero.
+func CoffinManson(dT, c, q float64) (float64, error) {
+	if dT <= 0 {
+		return 0, fmt.Errorf("reliability: cycle range must be positive")
+	}
+	if c == 0 {
+		c = 4.5e5
+	}
+	if q == 0 {
+		q = 2.0
+	}
+	if c <= 0 || q <= 0 {
+		return 0, fmt.Errorf("reliability: invalid Coffin–Manson constants")
+	}
+	return c * math.Pow(dT, -q), nil
+}
+
+// NorrisLandzberg returns the acceleration factor from field to test
+// thermal cycling: AF = (dTtest/dTfield)^n · (fField/fTest)^m ·
+// exp(Ea/k·(1/TmaxField − 1/TmaxTest)), with SAC defaults n=2.65, m=0.136,
+// Ea=0.136 eV (pass zeros to use them).  f are cycle frequencies per day,
+// Tmax in K.
+func NorrisLandzberg(dTField, dTTest, fField, fTest, TmaxField, TmaxTest, n, m, eaEV float64) (float64, error) {
+	if dTField <= 0 || dTTest <= 0 || fField <= 0 || fTest <= 0 || TmaxField <= 0 || TmaxTest <= 0 {
+		return 0, fmt.Errorf("reliability: Norris–Landzberg inputs must be positive")
+	}
+	if n == 0 {
+		n = 2.65
+	}
+	if m == 0 {
+		m = 0.136
+	}
+	if eaEV == 0 {
+		eaEV = 0.136
+	}
+	return math.Pow(dTTest/dTField, n) *
+		math.Pow(fField/fTest, m) *
+		math.Exp(eaEV/units.BoltzmannEV*(1/TmaxField-1/TmaxTest)), nil
+}
+
+// MissionSegment is one phase of a mission profile.
+type MissionSegment struct {
+	Name     string
+	Fraction float64 // duty fraction of total life, 0..1
+	TjOffset float64 // junction temperature delta vs the base case, K
+	Env      Environment
+}
+
+// MissionMTBF computes the duty-weighted MTBF of a board across mission
+// segments; tjBase maps part → junction K in the reference segment.
+func (b *Board) MissionMTBF(tjBase map[string]float64, fallbackTj float64, segments []MissionSegment) (float64, error) {
+	if len(segments) == 0 {
+		return 0, fmt.Errorf("reliability: empty mission profile")
+	}
+	total := 0.0
+	fracSum := 0.0
+	for _, seg := range segments {
+		if seg.Fraction < 0 {
+			return 0, fmt.Errorf("reliability: segment %q has negative fraction", seg.Name)
+		}
+		fracSum += seg.Fraction
+		adj := make(map[string]float64, len(tjBase))
+		for k, v := range tjBase {
+			adj[k] = v + seg.TjOffset
+		}
+		pred, err := b.Predict(adj, fallbackTj+seg.TjOffset, seg.Env)
+		if err != nil {
+			return 0, err
+		}
+		total += seg.Fraction * pred.TotalFIT
+	}
+	if math.Abs(fracSum-1) > 1e-6 {
+		return 0, fmt.Errorf("reliability: mission fractions sum to %g, want 1", fracSum)
+	}
+	return 1e9 / total, nil
+}
+
+// RedundantMTBF returns the MTBF of an active-parallel group that needs k
+// of its n identical units (each with exponential MTBF m) to function:
+// MTBF = m·Σ_{i=k..n} 1/i — the standard order-statistics result.  Active
+// redundancy is the usual avionics pattern for power supplies and fans.
+func RedundantMTBF(m float64, k, n int) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("reliability: unit MTBF must be positive")
+	}
+	if k < 1 || n < k {
+		return 0, fmt.Errorf("reliability: need 1 ≤ k ≤ n, got k=%d n=%d", k, n)
+	}
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += 1 / float64(i)
+	}
+	return m * sum, nil
+}
+
+// StandbyMTBF returns the MTBF of a 1-of-n cold-standby group with
+// perfect switching: the spare is unstressed until promoted, so the group
+// lasts n lifetimes.
+func StandbyMTBF(m float64, n int) (float64, error) {
+	if m <= 0 || n < 1 {
+		return 0, fmt.Errorf("reliability: invalid standby inputs")
+	}
+	return m * float64(n), nil
+}
+
+// MissionReliability returns exp(−t/MTBF): the probability of surviving a
+// mission of duration t hours on an exponential failure model.
+func MissionReliability(mtbfHours, tHours float64) (float64, error) {
+	if mtbfHours <= 0 || tHours < 0 {
+		return 0, fmt.Errorf("reliability: invalid mission inputs")
+	}
+	return math.Exp(-tHours / mtbfHours), nil
+}

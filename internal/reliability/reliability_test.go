@@ -1,0 +1,296 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestArrhenius(t *testing.T) {
+	// Same temperature → factor 1.
+	if got := Arrhenius(0.7, 350, 350); !units.ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("AF(same T) = %v", got)
+	}
+	// Hotter stress → factor >1, and strongly so for 0.7 eV over 30 K.
+	af := Arrhenius(0.7, units.CToK(55), units.CToK(85))
+	if af < 3 || af > 15 {
+		t.Errorf("AF(55→85°C, 0.7eV) = %v, want ≈6–8", af)
+	}
+	// Inverse direction reciprocates.
+	inv := Arrhenius(0.7, units.CToK(85), units.CToK(55))
+	if !units.ApproxEqual(af*inv, 1, 1e-9) {
+		t.Error("Arrhenius should reciprocate")
+	}
+	if !math.IsNaN(Arrhenius(0.7, -1, 300)) {
+		t.Error("invalid T should give NaN")
+	}
+}
+
+func TestPartFIT(t *testing.T) {
+	p := Part{Name: "CPU", BaseFIT: 100, EaEV: 0.7, Quality: QualMil, Quantity: 1}
+	// At reference temperature, GB env, mil quality: λ = 100·0.5 = 50 FIT.
+	fit, err := p.FITAt(313.15, GroundBenign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(fit, 50, 1e-9) {
+		t.Errorf("FIT = %v, want 50", fit)
+	}
+	// Hotter junction raises it.
+	hot, _ := p.FITAt(units.CToK(100), GroundBenign)
+	if hot <= fit {
+		t.Error("hot junction must raise FIT")
+	}
+	// Environment severity ordering.
+	aic, _ := p.FITAt(313.15, AirborneInhabitedCargo)
+	auf, _ := p.FITAt(313.15, AirborneUninhabitedFighter)
+	if !(aic > fit && auf > aic) {
+		t.Errorf("environment ordering broken: GB=%v AIC=%v AUF=%v", fit, aic, auf)
+	}
+	// COTS quality penalty (the paper's trade-off).
+	cots := p
+	cots.Quality = QualCommercial
+	cfit, _ := cots.FITAt(313.15, GroundBenign)
+	if !units.ApproxEqual(cfit/fit, 6, 1e-9) {
+		t.Errorf("COTS penalty = %v, want 6×", cfit/fit)
+	}
+	// Quantity scaling.
+	multi := p
+	multi.Quantity = 4
+	mfit, _ := multi.FITAt(313.15, GroundBenign)
+	if !units.ApproxEqual(mfit, 4*fit, 1e-9) {
+		t.Error("quantity scaling broken")
+	}
+}
+
+func TestPartErrors(t *testing.T) {
+	p := Part{Name: "bad", BaseFIT: -1, Quantity: 1}
+	if _, err := p.FITAt(300, GroundBenign); err == nil {
+		t.Error("negative FIT should error")
+	}
+	p = Part{Name: "bad", BaseFIT: 10, Quantity: 0}
+	if _, err := p.FITAt(300, GroundBenign); err == nil {
+		t.Error("zero quantity should error")
+	}
+	p = Part{Name: "ok", BaseFIT: 10, Quantity: 1}
+	if _, err := p.FITAt(-5, GroundBenign); err == nil {
+		t.Error("bad temperature should error")
+	}
+	if _, err := p.FITAt(300, Environment(99)); err == nil {
+		t.Error("bad environment should error")
+	}
+	p.Quality = Quality(99)
+	if _, err := p.FITAt(300, GroundBenign); err == nil {
+		t.Error("bad quality should error")
+	}
+}
+
+// avionicsBoard builds a representative computer-module BOM.
+func avionicsBoard() *Board {
+	return &Board{
+		Name: "processing-module",
+		Parts: []Part{
+			{Name: "CPU", BaseFIT: 120, EaEV: 0.7, Quality: QualMil, Quantity: 1},
+			{Name: "DSP", BaseFIT: 90, EaEV: 0.7, Quality: QualMil, Quantity: 2},
+			{Name: "SDRAM", BaseFIT: 40, EaEV: 0.6, Quality: QualMil, Quantity: 4},
+			{Name: "PowerFET", BaseFIT: 35, EaEV: 0.5, Quality: QualMil, Quantity: 6},
+			{Name: "Passives", BaseFIT: 2, EaEV: 0.3, Quality: QualMil, Quantity: 200},
+			{Name: "Connector", BaseFIT: 10, EaEV: 0.4, Quality: QualMil, Quantity: 3},
+		},
+	}
+}
+
+func TestBoardPredictMTBFBand(t *testing.T) {
+	// The paper: "typical MTBF for aerospace applications is about
+	// 40,000 h".  Our representative module at moderate junction
+	// temperatures in an airborne-inhabited environment must land in the
+	// 20k–100k hour decade.
+	b := avionicsBoard()
+	tj := map[string]float64{
+		"CPU": units.CToK(95), "DSP": units.CToK(85), "SDRAM": units.CToK(75),
+		"PowerFET": units.CToK(90),
+	}
+	pred, err := b.Predict(tj, units.CToK(70), AirborneInhabitedCargo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MTBFHours < 15000 || pred.MTBFHours > 150000 {
+		t.Errorf("MTBF = %v h, want the ~40k decade", pred.MTBFHours)
+	}
+	// Contributions sorted descending and summing to 1.
+	sum := 0.0
+	for i, c := range pred.Contributions {
+		sum += c.Fraction
+		if i > 0 && c.FIT > pred.Contributions[i-1].FIT {
+			t.Error("contributions not sorted")
+		}
+	}
+	if !units.ApproxEqual(sum, 1, 1e-9) {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestHotterRunningKillsMTBF(t *testing.T) {
+	// The design rule behind keeping Tj ≤ 125 °C: reliability collapses
+	// with temperature.
+	b := avionicsBoard()
+	cool, err := b.Predict(nil, units.CToK(70), AirborneInhabitedCargo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := b.Predict(nil, units.CToK(125), AirborneInhabitedCargo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MTBFHours >= cool.MTBFHours/2 {
+		t.Errorf("125 °C MTBF %v should be ≪ 70 °C MTBF %v", hot.MTBFHours, cool.MTBFHours)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	empty := &Board{Name: "empty"}
+	if _, err := empty.Predict(nil, 300, GroundBenign); err == nil {
+		t.Error("empty board should error")
+	}
+}
+
+func TestCoffinManson(t *testing.T) {
+	// Defaults: Nf = 4.5e5·dT⁻²; at 100 K swing, 45 cycles… that's severe
+	// shock; at 20 K swing, 1125 cycles.  Check scaling: quadrupling the
+	// swing cuts life 16×.
+	n1, err := CoffinManson(25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := CoffinManson(100, 0, 0)
+	if !units.ApproxEqual(n1/n2, 16, 1e-9) {
+		t.Errorf("CM scaling = %v, want 16", n1/n2)
+	}
+	if _, err := CoffinManson(-5, 0, 0); err == nil {
+		t.Error("negative swing should error")
+	}
+	if _, err := CoffinManson(10, -1, 2); err == nil {
+		t.Error("bad constants should error")
+	}
+}
+
+func TestNorrisLandzberg(t *testing.T) {
+	// The COSEE thermal shock test (−45/+55 °C) versus a mild daily field
+	// cycle (20 K): the test must accelerate strongly (AF ≫ 1).
+	af, err := NorrisLandzberg(20, 100, 1, 6, units.CToK(40), units.CToK(55), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af < 10 {
+		t.Errorf("AF = %v, want ≫1 for a 100 K test vs 20 K field", af)
+	}
+	// Identity case.
+	one, _ := NorrisLandzberg(50, 50, 2, 2, 330, 330, 0, 0, 0)
+	if !units.ApproxEqual(one, 1, 1e-12) {
+		t.Errorf("identity AF = %v", one)
+	}
+	if _, err := NorrisLandzberg(0, 100, 1, 1, 330, 330, 0, 0, 0); err == nil {
+		t.Error("zero field swing should error")
+	}
+}
+
+func TestMissionMTBF(t *testing.T) {
+	b := avionicsBoard()
+	segs := []MissionSegment{
+		{Name: "ground", Fraction: 0.3, TjOffset: -20, Env: GroundFixed},
+		{Name: "cruise", Fraction: 0.6, TjOffset: 0, Env: AirborneInhabitedCargo},
+		{Name: "hot-day-climb", Fraction: 0.1, TjOffset: 15, Env: AirborneInhabitedCargo},
+	}
+	mtbf, err := b.MissionMTBF(nil, units.CToK(80), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted value must sit between the best and worst segment MTBFs.
+	best, _ := b.Predict(nil, units.CToK(60), GroundFixed)
+	worst, _ := b.Predict(nil, units.CToK(95), AirborneInhabitedCargo)
+	if mtbf < worst.MTBFHours || mtbf > best.MTBFHours {
+		t.Errorf("mission MTBF %v outside [%v, %v]", mtbf, worst.MTBFHours, best.MTBFHours)
+	}
+	// Fractions must sum to 1.
+	bad := segs[:2]
+	if _, err := b.MissionMTBF(nil, units.CToK(80), bad); err == nil {
+		t.Error("non-unity fractions should error")
+	}
+	if _, err := b.MissionMTBF(nil, units.CToK(80), nil); err == nil {
+		t.Error("empty profile should error")
+	}
+}
+
+func TestEnvironmentString(t *testing.T) {
+	if GroundBenign.String() != "GB" || AirborneUninhabitedFighter.String() != "AUF" {
+		t.Error("environment names wrong")
+	}
+	if Environment(42).String() != "Env(42)" {
+		t.Error("unknown environment name wrong")
+	}
+}
+
+func TestRedundantMTBF(t *testing.T) {
+	// 1-of-2 active: MTBF = m·(1 + 1/2) = 1.5m.
+	got, err := RedundantMTBF(40000, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got, 60000, 1e-12) {
+		t.Errorf("1-of-2 = %v, want 60000", got)
+	}
+	// k=n degenerates to the series of last survivor: m/n... actually
+	// k-of-n with k=n: MTBF = m/n (first failure kills the group).
+	got, _ = RedundantMTBF(40000, 2, 2)
+	if !units.ApproxEqual(got, 20000, 1e-12) {
+		t.Errorf("2-of-2 = %v, want 20000", got)
+	}
+	// Adding spares always helps.
+	g2, _ := RedundantMTBF(40000, 1, 2)
+	g3, _ := RedundantMTBF(40000, 1, 3)
+	if g3 <= g2 {
+		t.Error("more spares should raise MTBF")
+	}
+	if _, err := RedundantMTBF(-1, 1, 2); err == nil {
+		t.Error("bad MTBF should error")
+	}
+	if _, err := RedundantMTBF(100, 3, 2); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestStandbyBeatsActive(t *testing.T) {
+	active, _ := RedundantMTBF(40000, 1, 2)
+	standby, err := StandbyMTBF(40000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standby <= active {
+		t.Errorf("cold standby %v should beat active %v", standby, active)
+	}
+	if _, err := StandbyMTBF(0, 2); err == nil {
+		t.Error("bad inputs should error")
+	}
+}
+
+func TestMissionReliability(t *testing.T) {
+	// 10 h mission on a 40,000 h MTBF box: R ≈ 0.99975.
+	r, err := MissionReliability(40000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(r, math.Exp(-10.0/40000), 1e-12) {
+		t.Errorf("R = %v", r)
+	}
+	if r < 0.999 {
+		t.Error("short mission on long MTBF must be near certain")
+	}
+	// Identity: t=0 → R=1.
+	if r, _ := MissionReliability(100, 0); r != 1 {
+		t.Error("zero-duration mission should be certain")
+	}
+	if _, err := MissionReliability(-1, 10); err == nil {
+		t.Error("bad MTBF should error")
+	}
+}

@@ -1,0 +1,128 @@
+// Package report provides the small table/series formatting helpers the
+// benchmark harness uses to print paper-style tables and figure series to
+// stdout, so every experiment's output is directly comparable with the
+// rows the paper reports.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) data series — one curve of a figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// String renders the series as aligned columns.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s (%s vs %s) --\n", s.Name, s.YLabel, s.XLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%10.3f  %10.3f\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// CheckRow is one paper-vs-measured comparison line for EXPERIMENTS.md.
+type CheckRow struct {
+	Quantity string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// Checks renders a paper-vs-measured comparison block.
+func Checks(title string, rows []CheckRow) string {
+	t := NewTable(title, "quantity", "paper", "reproduced", "ok")
+	for _, r := range rows {
+		mark := "PASS"
+		if !r.Pass {
+			mark = "FAIL"
+		}
+		t.AddRow(r.Quantity, r.Paper, r.Measured, mark)
+	}
+	return t.String()
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Cooling modes", "mode", "max W", "note")
+	tb.AddRow("free convection", 20.0, "sealed box")
+	tb.AddRow("forced air", 100.0, "ARINC 600")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	s := tb.String()
+	for _, want := range []string{"== Cooling modes ==", "mode", "free convection", "ARINC 600", "100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Columns aligned: every data line at least as wide as the header line.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Errorf("float not compactly formatted: %s", tb.String())
+	}
+	if strings.Contains(tb.String(), "== ") {
+		t.Error("untitled table should not print a title line")
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{
+		Name: "without LHP", XLabel: "SEB power (W)", YLabel: "ΔT (K)",
+		X: []float64{20, 40}, Y: []float64{33, 59},
+	}
+	out := s.String()
+	for _, want := range []string{"without LHP", "ΔT (K)", "40.000", "59.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChecks(t *testing.T) {
+	out := Checks("E5 Fig.10", []CheckRow{
+		{Quantity: "capability gain", Paper: "+150%", Measured: "+150.1%", Pass: true},
+		{Quantity: "tilt sensitivity", Paper: "≈0", Measured: "0.2%", Pass: false},
+	})
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Errorf("checks block missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "E5 Fig.10") {
+		t.Error("checks block missing title")
+	}
+}

@@ -1,0 +1,66 @@
+package thermal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteCSV dumps the solved field as "x,y,z,T_C" rows (cell centroids,
+// metres, degrees Celsius) for plotting with any external tool — the
+// hand-off surface to the visualisation step of the design flow.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if r.T == nil || r.g == nil {
+		return fmt.Errorf("thermal: empty result")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "x_m,y_m,z_m,T_C"); err != nil {
+		return err
+	}
+	for k := 0; k < r.g.Nz; k++ {
+		for j := 0; j < r.g.Ny; j++ {
+			for i := 0; i < r.g.Nx; i++ {
+				x, y, z := r.g.CellCenter(i, j, k)
+				t := r.T[r.g.Index(i, j, k)] - 273.15
+				if _, err := fmt.Fprintf(bw, "%.6g,%.6g,%.6g,%.4f\n", x, y, z, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SliceZ extracts layer k as a [Ny][Nx] matrix of temperatures (K) for
+// quick contour inspection.
+func (r *Result) SliceZ(k int) ([][]float64, error) {
+	if r.g == nil || k < 0 || k >= r.g.Nz {
+		return nil, fmt.Errorf("thermal: layer %d out of range", k)
+	}
+	out := make([][]float64, r.g.Ny)
+	for j := 0; j < r.g.Ny; j++ {
+		out[j] = make([]float64, r.g.Nx)
+		for i := 0; i < r.g.Nx; i++ {
+			out[j][i] = r.T[r.g.Index(i, j, k)]
+		}
+	}
+	return out, nil
+}
+
+// HotSpot returns the location (cell centroid) and temperature of the
+// hottest cell — the quantity a thermal engineer marks first on a plot.
+func (r *Result) HotSpot() (x, y, z, T float64) {
+	best := math.Inf(-1)
+	for k := 0; k < r.g.Nz; k++ {
+		for j := 0; j < r.g.Ny; j++ {
+			for i := 0; i < r.g.Nx; i++ {
+				if t := r.T[r.g.Index(i, j, k)]; t > best {
+					best = t
+					x, y, z = r.g.CellCenter(i, j, k)
+				}
+			}
+		}
+	}
+	return x, y, z, best
+}

@@ -1,0 +1,347 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aeropack/internal/linalg"
+)
+
+// Network is a lumped thermal resistance network — the "resistive network
+// model" the paper uses at level 1 (equipment) and level 3 (component
+// packaging models).  Nodes are named; edges are thermal resistances in
+// K/W; nodes may carry power sources (W) or be pinned to a temperature.
+//
+// Nonlinear elements (temperature- or power-dependent conductances, e.g. a
+// loop heat pipe or a natural-convection film) are supported through
+// VariableResistor callbacks, resolved by Picard iteration.
+type Network struct {
+	names  map[string]int
+	labels []string
+	caps   []float64 // lumped capacitance per node, J/K (0 for massless)
+
+	resistors []resistor
+	sources   map[int]float64
+	fixed     map[int]float64
+}
+
+type resistor struct {
+	a, b int
+	r    float64
+	// fn, if non-nil, recomputes the resistance from the current endpoint
+	// temperatures and the heat flow through the element on the previous
+	// iteration.
+	fn func(Ta, Tb, Q float64) float64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		names:   make(map[string]int),
+		sources: make(map[int]float64),
+		fixed:   make(map[int]float64),
+	}
+}
+
+// AddNode creates (or returns) the node with the given name.
+func (n *Network) AddNode(name string) int {
+	if id, ok := n.names[name]; ok {
+		return id
+	}
+	id := len(n.labels)
+	n.names[name] = id
+	n.labels = append(n.labels, name)
+	n.caps = append(n.caps, 0)
+	return id
+}
+
+// SetCapacitance assigns a lumped thermal capacitance (J/K) to a node for
+// transient solves.
+func (n *Network) SetCapacitance(name string, c float64) {
+	id := n.AddNode(name)
+	n.caps[id] = c
+}
+
+// Nodes returns the node names in creation order.
+func (n *Network) Nodes() []string {
+	return append([]string(nil), n.labels...)
+}
+
+// AddResistor connects nodes a and b with resistance r (K/W).
+func (n *Network) AddResistor(a, b string, r float64) error {
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return fmt.Errorf("thermal: resistance %g between %q and %q must be positive and finite", r, a, b)
+	}
+	ia, ib := n.AddNode(a), n.AddNode(b)
+	if ia == ib {
+		return fmt.Errorf("thermal: self-loop resistor on %q", a)
+	}
+	n.resistors = append(n.resistors, resistor{a: ia, b: ib, r: r})
+	return nil
+}
+
+// AddVariableResistor connects a and b with a resistance recomputed each
+// Picard pass from endpoint temperatures and previous-iteration heat flow.
+// fn must return a positive finite resistance; r0 seeds the iteration.
+func (n *Network) AddVariableResistor(a, b string, r0 float64, fn func(Ta, Tb, Q float64) float64) error {
+	if r0 <= 0 || fn == nil {
+		return fmt.Errorf("thermal: variable resistor needs positive seed and non-nil fn")
+	}
+	ia, ib := n.AddNode(a), n.AddNode(b)
+	if ia == ib {
+		return fmt.Errorf("thermal: self-loop resistor on %q", a)
+	}
+	n.resistors = append(n.resistors, resistor{a: ia, b: ib, r: r0, fn: fn})
+	return nil
+}
+
+// AddSource injects power (W, positive heating) at a node; repeated calls
+// accumulate.
+func (n *Network) AddSource(name string, power float64) {
+	id := n.AddNode(name)
+	n.sources[id] += power
+}
+
+// FixT pins a node to temperature T (K).
+func (n *Network) FixT(name string, T float64) {
+	id := n.AddNode(name)
+	n.fixed[id] = T
+}
+
+// SteadyResult maps node names to solved temperatures plus element flows.
+type SteadyResult struct {
+	T map[string]float64
+	// Flow[i] is the heat flow (W) through resistor i, positive a→b, in
+	// the order resistors were added.
+	Flow []float64
+	// Iterations is the number of Picard passes used.
+	Iterations int
+}
+
+// SolveSteady solves the network.  Purely linear networks converge in one
+// pass; networks with variable resistors iterate until the max node
+// temperature change falls below tolK (default 1e-3 K) or maxIter passes.
+func (n *Network) SolveSteady() (*SteadyResult, error) {
+	return n.SolveSteadyTol(1e-3, 60)
+}
+
+// SolveSteadyTol is SolveSteady with explicit Picard controls.
+func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, error) {
+	num := len(n.labels)
+	if num == 0 {
+		return nil, fmt.Errorf("thermal: empty network")
+	}
+	if len(n.fixed) == 0 {
+		return nil, fmt.Errorf("thermal: network has no fixed-temperature node; steady problem is singular")
+	}
+	if tolK <= 0 {
+		tolK = 1e-3
+	}
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+
+	rs := make([]float64, len(n.resistors))
+	for i, e := range n.resistors {
+		rs[i] = e.r
+	}
+	T := make([]float64, num)
+	// Seed all nodes at the mean fixed temperature.
+	mean := 0.0
+	for _, t := range n.fixed {
+		mean += t
+	}
+	mean /= float64(len(n.fixed))
+	for i := range T {
+		T[i] = mean
+	}
+	for id, t := range n.fixed {
+		T[id] = t
+	}
+
+	hasVariable := false
+	for _, e := range n.resistors {
+		if e.fn != nil {
+			hasVariable = true
+			break
+		}
+	}
+
+	var result *SteadyResult
+	for pass := 0; pass < maxIter; pass++ {
+		Tnew, err := n.solveLinear(rs)
+		if err != nil {
+			return nil, err
+		}
+		maxDelta := 0.0
+		for i := range Tnew {
+			if d := math.Abs(Tnew[i] - T[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		copy(T, Tnew)
+		flows := make([]float64, len(n.resistors))
+		for i, e := range n.resistors {
+			flows[i] = (T[e.a] - T[e.b]) / rs[i]
+		}
+		result = &SteadyResult{T: n.labelled(T), Flow: flows, Iterations: pass + 1}
+		if !hasVariable {
+			return result, nil
+		}
+		// Update variable resistances.
+		changed := false
+		for i, e := range n.resistors {
+			if e.fn == nil {
+				continue
+			}
+			rNew := e.fn(T[e.a], T[e.b], flows[i])
+			if rNew <= 0 || math.IsNaN(rNew) || math.IsInf(rNew, 0) {
+				return nil, fmt.Errorf("thermal: variable resistor %d returned invalid resistance %g", i, rNew)
+			}
+			// Under-relax for stability.
+			rNew = 0.5*rs[i] + 0.5*rNew
+			if math.Abs(rNew-rs[i]) > 1e-9*rs[i] {
+				changed = true
+			}
+			rs[i] = rNew
+		}
+		if maxDelta < tolK && !changed {
+			return result, nil
+		}
+		if maxDelta < tolK && pass > 2 {
+			return result, nil
+		}
+	}
+	return result, fmt.Errorf("thermal: network Picard iteration did not converge in %d passes", maxIter)
+}
+
+// solveLinear solves the network with frozen resistances.
+func (n *Network) solveLinear(rs []float64) ([]float64, error) {
+	num := len(n.labels)
+	coo := linalg.NewCOO(num, num)
+	b := make([]float64, num)
+	isFixed := func(id int) bool { _, ok := n.fixed[id]; return ok }
+
+	for i, e := range n.resistors {
+		g := 1 / rs[i]
+		for _, end := range []struct{ self, other int }{{e.a, e.b}, {e.b, e.a}} {
+			if isFixed(end.self) {
+				continue
+			}
+			coo.Add(end.self, end.self, g)
+			if isFixed(end.other) {
+				b[end.self] += g * n.fixed[end.other]
+			} else {
+				coo.Add(end.self, end.other, -g)
+			}
+		}
+	}
+	for id, p := range n.sources {
+		if !isFixed(id) {
+			b[id] += p
+		}
+	}
+	for id, t := range n.fixed {
+		coo.Add(id, id, 1)
+		b[id] = t
+	}
+	// Detect floating nodes (no resistor, not fixed): pin them to NaN-safe
+	// isolated equations so the solve doesn't go singular.
+	deg := make([]int, num)
+	for _, e := range n.resistors {
+		deg[e.a]++
+		deg[e.b]++
+	}
+	for id := 0; id < num; id++ {
+		if deg[id] == 0 && !isFixed(id) {
+			return nil, fmt.Errorf("thermal: node %q is floating (no resistor, not fixed)", n.labels[id])
+		}
+	}
+
+	a := coo.ToCSR()
+	// Network matrices are symmetric positive definite after Dirichlet
+	// elimination; CG with Jacobi handles the typical sizes instantly.
+	x, _, err := linalg.CG(a, b, nil, linalg.NewJacobiPrec(a), 1e-12, 20*num+200)
+	if err != nil {
+		// Fall back to a robust dense solve for tiny ill-conditioned nets.
+		if num <= 600 {
+			xd, derr := linalg.SolveDense(a.ToDense(), b)
+			if derr == nil {
+				return xd, nil
+			}
+		}
+		return nil, err
+	}
+	return x, nil
+}
+
+func (n *Network) labelled(T []float64) map[string]float64 {
+	out := make(map[string]float64, len(T))
+	for i, name := range n.labels {
+		out[name] = T[i]
+	}
+	return out
+}
+
+// NodePower returns the net power (W) injected at the named node by
+// sources (not flows); 0 for unknown nodes.
+func (n *Network) NodePower(name string) float64 {
+	id, ok := n.names[name]
+	if !ok {
+		return 0
+	}
+	return n.sources[id]
+}
+
+// FlowBetween returns the total heat flow a→b (W) summed over all parallel
+// resistors between the two named nodes, given a solved result.
+func (n *Network) FlowBetween(res *SteadyResult, a, b string) float64 {
+	ia, ok1 := n.names[a]
+	ib, ok2 := n.names[b]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	sum := 0.0
+	for i, e := range n.resistors {
+		if e.a == ia && e.b == ib {
+			sum += res.Flow[i]
+		} else if e.a == ib && e.b == ia {
+			sum -= res.Flow[i]
+		}
+	}
+	return sum
+}
+
+// SeriesResistance is a helper composing a one-dimensional stack of
+// conductive layers plus optional interface resistances: layers are
+// (thickness m, conductivity W/mK) pairs over area m², interfaces are
+// specific resistances in K·m²/W.  Returns total K/W.
+func SeriesResistance(area float64, layers [][2]float64, interfaces []float64) (float64, error) {
+	if area <= 0 {
+		return 0, fmt.Errorf("thermal: non-positive area")
+	}
+	r := 0.0
+	for i, l := range layers {
+		thk, k := l[0], l[1]
+		if thk < 0 || k <= 0 {
+			return 0, fmt.Errorf("thermal: layer %d invalid (thk=%g, k=%g)", i, thk, k)
+		}
+		r += thk / (k * area)
+	}
+	for i, ri := range interfaces {
+		if ri < 0 {
+			return 0, fmt.Errorf("thermal: interface %d negative", i)
+		}
+		r += ri / area
+	}
+	return r, nil
+}
+
+// SortedNodeNames returns node names sorted alphabetically — handy for
+// deterministic report output.
+func (n *Network) SortedNodeNames() []string {
+	out := n.Nodes()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/linalg"
+)
+
+// TransientResult holds a network time history.
+type TransientResult struct {
+	Times []float64
+	// T[node] is the temperature history for each node, same length as
+	// Times.
+	T map[string][]float64
+}
+
+// At returns the temperature of a node at the sample closest to time t.
+func (r *TransientResult) At(node string, t float64) (float64, error) {
+	hist, ok := r.T[node]
+	if !ok {
+		return 0, fmt.Errorf("thermal: unknown node %q", node)
+	}
+	if len(r.Times) == 0 {
+		return 0, fmt.Errorf("thermal: empty transient result")
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, tt := range r.Times {
+		if d := math.Abs(tt - t); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return hist[best], nil
+}
+
+// Final returns each node's temperature at the last time step.
+func (r *TransientResult) Final() map[string]float64 {
+	out := make(map[string]float64, len(r.T))
+	n := len(r.Times)
+	for k, v := range r.T {
+		out[k] = v[n-1]
+	}
+	return out
+}
+
+// TimeToReach returns the first time a node crosses the given temperature
+// (rising or falling), or an error if it never does within the history.
+func (r *TransientResult) TimeToReach(node string, target float64) (float64, error) {
+	hist, ok := r.T[node]
+	if !ok {
+		return 0, fmt.Errorf("thermal: unknown node %q", node)
+	}
+	for i := 1; i < len(hist); i++ {
+		if (hist[i-1] < target && hist[i] >= target) ||
+			(hist[i-1] > target && hist[i] <= target) {
+			return r.Times[i], nil
+		}
+	}
+	return 0, fmt.Errorf("thermal: node %q never reaches %.2f K", node, target)
+}
+
+// SolveTransient integrates the network from a uniform initial temperature
+// T0 with implicit Euler: nodes with zero capacitance are treated as
+// quasi-steady (massless).  Variable resistors are re-evaluated each step
+// from the previous step's temperatures.  Ambient (fixed) nodes may be
+// rescheduled over time via schedule, mapping node name to a temperature
+// profile T(t); nil entries keep the fixed value.
+func (n *Network) SolveTransient(T0, dt float64, steps int, schedule map[string]func(t float64) float64) (*TransientResult, error) {
+	if dt <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("thermal: transient needs positive dt and steps")
+	}
+	num := len(n.labels)
+	if num == 0 {
+		return nil, fmt.Errorf("thermal: empty network")
+	}
+	if len(n.fixed) == 0 {
+		return nil, fmt.Errorf("thermal: transient network needs a fixed node")
+	}
+
+	rs := make([]float64, len(n.resistors))
+	for i, e := range n.resistors {
+		rs[i] = e.r
+	}
+	T := make([]float64, num)
+	for i := range T {
+		T[i] = T0
+	}
+	for id, t := range n.fixed {
+		T[id] = t
+	}
+
+	res := &TransientResult{T: make(map[string][]float64, num)}
+	record := func(tm float64) {
+		res.Times = append(res.Times, tm)
+		for i, name := range n.labels {
+			res.T[name] = append(res.T[name], T[i])
+		}
+	}
+	record(0)
+
+	isFixed := func(id int) bool { _, ok := n.fixed[id]; return ok }
+	for step := 1; step <= steps; step++ {
+		tm := float64(step) * dt
+		// Update scheduled ambient temperatures.
+		fixedNow := make(map[int]float64, len(n.fixed))
+		for id, tv := range n.fixed {
+			fixedNow[id] = tv
+			if schedule != nil {
+				if fn, ok := schedule[n.labels[id]]; ok && fn != nil {
+					fixedNow[id] = fn(tm)
+				}
+			}
+		}
+		// Refresh variable resistances from the previous state.
+		for i, e := range n.resistors {
+			if e.fn == nil {
+				continue
+			}
+			q := (T[e.a] - T[e.b]) / rs[i]
+			rNew := e.fn(T[e.a], T[e.b], q)
+			if rNew <= 0 || math.IsNaN(rNew) || math.IsInf(rNew, 0) {
+				return nil, fmt.Errorf("thermal: variable resistor %d invalid at t=%.1f s", i, tm)
+			}
+			rs[i] = rNew
+		}
+		// Assemble (C/dt + G)·T^{n+1} = C/dt·T^n + b.
+		coo := linalg.NewCOO(num, num)
+		b := make([]float64, num)
+		for i, e := range n.resistors {
+			g := 1 / rs[i]
+			for _, end := range []struct{ self, other int }{{e.a, e.b}, {e.b, e.a}} {
+				if isFixed(end.self) {
+					continue
+				}
+				coo.Add(end.self, end.self, g)
+				if isFixed(end.other) {
+					b[end.self] += g * fixedNow[end.other]
+				} else {
+					coo.Add(end.self, end.other, -g)
+				}
+			}
+		}
+		for id, p := range n.sources {
+			if !isFixed(id) {
+				b[id] += p
+			}
+		}
+		for id := 0; id < num; id++ {
+			if isFixed(id) {
+				coo.Add(id, id, 1)
+				b[id] = fixedNow[id]
+				continue
+			}
+			if c := n.caps[id]; c > 0 {
+				coo.Add(id, id, c/dt)
+				b[id] += c / dt * T[id]
+			}
+		}
+		a := coo.ToCSR()
+		x, _, err := linalg.CG(a, b, T, linalg.NewJacobiPrec(a), 1e-11, 40*num+400)
+		if err != nil {
+			// Transient operators with scheduled ambients can lose
+			// symmetry in corner cases; fall back to a dense solve.
+			if num <= 600 {
+				xd, derr := linalg.SolveDense(a.ToDense(), b)
+				if derr != nil {
+					return nil, err
+				}
+				x = xd
+			} else {
+				return nil, err
+			}
+		}
+		copy(T, x)
+		record(tm)
+	}
+	return res, nil
+}
+
+// TimeConstant returns the dominant RC time constant of a node: its
+// capacitance times the parallel resistance of its attachments (frozen at
+// the seed values) — a quick estimate for choosing transient step sizes.
+func (n *Network) TimeConstant(name string) (float64, error) {
+	id, ok := n.names[name]
+	if !ok {
+		return 0, fmt.Errorf("thermal: unknown node %q", name)
+	}
+	c := n.caps[id]
+	if c <= 0 {
+		return 0, fmt.Errorf("thermal: node %q has no capacitance", name)
+	}
+	g := 0.0
+	for _, e := range n.resistors {
+		if e.a == id || e.b == id {
+			g += 1 / e.r
+		}
+	}
+	if g == 0 {
+		return 0, fmt.Errorf("thermal: node %q has no resistive attachments", name)
+	}
+	return c / g, nil
+}

@@ -1,0 +1,501 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/linalg"
+	"aeropack/internal/mesh"
+	"aeropack/internal/units"
+)
+
+// Result is a solved temperature field.
+type Result struct {
+	T []float64 // cell temperatures, K, indexed by Grid.Index
+	g *mesh.Grid
+	// Iterations performed by the linear solver on the last (outer) pass.
+	Iterations int
+	// OuterIterations counts radiation linearisation passes.
+	OuterIterations int
+}
+
+// At returns the temperature of cell (i,j,k).
+func (r *Result) At(i, j, k int) float64 { return r.T[r.g.Index(i, j, k)] }
+
+// Max returns the hottest cell temperature.
+func (r *Result) Max() float64 {
+	m := math.Inf(-1)
+	for _, t := range r.T {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the coldest cell temperature.
+func (r *Result) Min() float64 {
+	m := math.Inf(1)
+	for _, t := range r.T {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Mean returns the volume-weighted mean temperature.
+func (r *Result) Mean() float64 {
+	sumVT, sumV := 0.0, 0.0
+	for k := 0; k < r.g.Nz; k++ {
+		for j := 0; j < r.g.Ny; j++ {
+			for i := 0; i < r.g.Nx; i++ {
+				v := r.g.CellVolume(i, j, k)
+				sumVT += v * r.T[r.g.Index(i, j, k)]
+				sumV += v
+			}
+		}
+	}
+	return sumVT / sumV
+}
+
+// MaxInBox returns the hottest temperature among cells with centroids in
+// the physical box — used to probe component regions.
+func (r *Result) MaxInBox(x0, x1, y0, y1, z0, z1 float64) float64 {
+	b := r.g.LocateBox(x0, x1, y0, y1, z0, z1)
+	m := math.Inf(-1)
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			for i := b.I0; i < b.I1; i++ {
+				if t := r.T[r.g.Index(i, j, k)]; t > m {
+					m = t
+				}
+			}
+		}
+	}
+	return m
+}
+
+// MeanInBox returns the volume-weighted mean temperature in the box.
+func (r *Result) MeanInBox(x0, x1, y0, y1, z0, z1 float64) float64 {
+	b := r.g.LocateBox(x0, x1, y0, y1, z0, z1)
+	sumVT, sumV := 0.0, 0.0
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			for i := b.I0; i < b.I1; i++ {
+				v := r.g.CellVolume(i, j, k)
+				sumVT += v * r.T[r.g.Index(i, j, k)]
+				sumV += v
+			}
+		}
+	}
+	if sumV == 0 {
+		return math.NaN()
+	}
+	return sumVT / sumV
+}
+
+// SolveOptions tunes the steady solver.
+type SolveOptions struct {
+	Tol        float64 // linear relative residual target (default 1e-9)
+	MaxIter    int     // linear iteration cap (default 20·n^(2/3)+2000)
+	MaxOuter   int     // radiation linearisation passes (default 12)
+	RadTol     float64 // outer convergence on max |ΔT| in K (default 0.01)
+	InitialT   float64 // initial field guess, K (default: mean of BC temps or 300)
+	Solver     string  // "cg" (default), "cg-jacobi", "cg-ssor", "bicgstab"
+	SSOROmega  float64 // relaxation for cg-ssor (default 1.2)
+	ReturnLast bool    // if true, return best-effort field on non-convergence
+}
+
+func (o *SolveOptions) defaults(n int) {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20*int(math.Cbrt(float64(n))*math.Cbrt(float64(n))) + 2000
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 40
+	}
+	if o.RadTol <= 0 {
+		o.RadTol = 0.01
+	}
+	if o.Solver == "" {
+		o.Solver = "cg-ssor"
+	}
+	if o.SSOROmega <= 0 || o.SSOROmega >= 2 {
+		o.SSOROmega = 1.2
+	}
+}
+
+// SolveSteady solves the steady conduction problem.  Radiative boundaries
+// make the problem mildly nonlinear; they are handled by Picard iteration
+// on a linearised radiation coefficient.
+func (m *Model) SolveSteady(opts *SolveOptions) (*Result, error) {
+	n := m.Grid.NumCells()
+	var o SolveOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.defaults(n)
+
+	// Initial surface-temperature estimate for radiation linearisation.
+	Tinit := o.InitialT
+	if Tinit <= 0 {
+		Tinit = m.guessInitialT()
+	}
+	Tsurf := make([]float64, n)
+	for i := range Tsurf {
+		Tsurf[i] = Tinit
+	}
+
+	res := &Result{g: m.Grid}
+	var prev []float64
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		res.OuterIterations = outer + 1
+		a, b := m.assemble(Tsurf)
+		t, stats, err := m.linSolve(a, b, prev, &o)
+		res.Iterations = stats.Iterations
+		if err != nil {
+			if o.ReturnLast && t != nil {
+				res.T = t
+				return res, err
+			}
+			return nil, err
+		}
+		if !m.hasRadiation() {
+			res.T = t
+			return res, nil
+		}
+		// Outer convergence check on the radiating surface estimate, with
+		// under-relaxation to damp the h_rad(T⁴) oscillation.
+		maxDelta := 0.0
+		for i := range t {
+			if d := math.Abs(t[i] - Tsurf[i]); d > maxDelta {
+				maxDelta = d
+			}
+			Tsurf[i] = 0.5*Tsurf[i] + 0.5*t[i]
+		}
+		prev = t
+		if maxDelta < o.RadTol {
+			res.T = t
+			return res, nil
+		}
+	}
+	if o.ReturnLast {
+		res.T = Tsurf
+		return res, fmt.Errorf("thermal: radiation linearisation did not converge in %d passes", o.MaxOuter)
+	}
+	return nil, fmt.Errorf("thermal: radiation linearisation did not converge in %d passes", o.MaxOuter)
+}
+
+func (m *Model) guessInitialT() float64 {
+	sum, cnt := 0.0, 0
+	for f := mesh.XMin; f < mesh.NumFaces; f++ {
+		if bc := m.FaceBC[f]; bc.Kind != Adiabatic {
+			sum += bc.T
+			cnt++
+		}
+	}
+	for _, p := range m.patches {
+		if p.bc.Kind != Adiabatic {
+			sum += p.bc.T
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 300
+	}
+	return sum / float64(cnt)
+}
+
+func (m *Model) hasRadiation() bool {
+	for f := mesh.XMin; f < mesh.NumFaces; f++ {
+		if m.FaceBC[f].Kind == ConvectionRadiation {
+			return true
+		}
+	}
+	for _, p := range m.patches {
+		if p.bc.Kind == ConvectionRadiation {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptions) ([]float64, linalg.IterStats, error) {
+	switch o.Solver {
+	case "cg":
+		return linalg.CG(a, b, x0, nil, o.Tol, o.MaxIter)
+	case "cg-jacobi":
+		return linalg.CG(a, b, x0, linalg.NewJacobiPrec(a), o.Tol, o.MaxIter)
+	case "cg-ssor":
+		return linalg.CG(a, b, x0, linalg.NewSSORPrec(a, o.SSOROmega), o.Tol, o.MaxIter)
+	case "bicgstab":
+		return linalg.BiCGSTAB(a, b, x0, linalg.NewJacobiPrec(a), o.Tol, o.MaxIter)
+	default:
+		return nil, linalg.IterStats{}, fmt.Errorf("thermal: unknown solver %q", o.Solver)
+	}
+}
+
+// assemble builds the steady FV system A·T = b given the current surface
+// temperature estimate (for radiation linearisation).
+func (m *Model) assemble(Tsurf []float64) (*linalg.CSR, []float64) {
+	g := m.Grid
+	n := g.NumCells()
+	coo := linalg.NewCOO(n, n)
+	b := make([]float64, n)
+
+	// Interior face conductances: series half-cell resistances
+	// (harmonic mean), per direction.
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				idx := g.Index(i, j, k)
+				// +x neighbour.
+				if i+1 < g.Nx {
+					nIdx := g.Index(i+1, j, k)
+					area := g.DY(j) * g.DZ(k)
+					k1 := kDir(m.matAt(i, j, k), 0)
+					k2 := kDir(m.matAt(i+1, j, k), 0)
+					gcond := faceConductance(area, g.DX(i), k1, g.DX(i+1), k2)
+					addPair(coo, idx, nIdx, gcond)
+				}
+				// +y neighbour.
+				if j+1 < g.Ny {
+					nIdx := g.Index(i, j+1, k)
+					area := g.DX(i) * g.DZ(k)
+					k1 := kDir(m.matAt(i, j, k), 1)
+					k2 := kDir(m.matAt(i, j+1, k), 1)
+					gcond := faceConductance(area, g.DY(j), k1, g.DY(j+1), k2)
+					addPair(coo, idx, nIdx, gcond)
+				}
+				// +z neighbour.
+				if k+1 < g.Nz {
+					nIdx := g.Index(i, j, k+1)
+					area := g.DX(i) * g.DY(j)
+					k1 := kDir(m.matAt(i, j, k), 2)
+					k2 := kDir(m.matAt(i, j, k+1), 2)
+					gcond := faceConductance(area, g.DZ(k), k1, g.DZ(k+1), k2)
+					addPair(coo, idx, nIdx, gcond)
+				}
+			}
+		}
+	}
+
+	// Boundary conditions.
+	for f := mesh.XMin; f < mesh.NumFaces; f++ {
+		face := f
+		g.BoundaryCells(face, func(i, j, k int) {
+			bc := m.bcAt(face, i, j, k)
+			if bc.Kind == Adiabatic {
+				return
+			}
+			idx := g.Index(i, j, k)
+			area := g.FaceArea(face, i, j, k)
+			mat := m.matAt(i, j, k)
+			axis := faceAxis(face)
+			kc := kDir(mat, axis)
+			halfDist := 0.5 * cellExtent(g, face, i, j, k)
+			rCond := halfDist / (kc * area)
+
+			var gTot float64
+			switch bc.Kind {
+			case FixedT:
+				gTot = 1 / rCond
+			case Convection, ConvectionRadiation:
+				h := bc.H
+				if bc.Kind == ConvectionRadiation {
+					eps := bc.Emiss
+					if eps == 0 {
+						eps = mat.Emiss
+					}
+					Ts := Tsurf[idx]
+					Ta := bc.T
+					h += eps * units.StefanBoltzmann * (Ts*Ts + Ta*Ta) * (Ts + Ta)
+				}
+				if h <= 0 {
+					return
+				}
+				rFilm := 1 / (h * area)
+				gTot = 1 / (rCond + rFilm)
+			}
+			coo.Add(idx, idx, gTot)
+			b[idx] += gTot * bc.T
+		})
+	}
+
+	// Volumetric sources.
+	for _, s := range m.sources {
+		// Spread power by cell volume fraction.
+		vol := 0.0
+		for k := s.box.K0; k < s.box.K1; k++ {
+			for j := s.box.J0; j < s.box.J1; j++ {
+				for i := s.box.I0; i < s.box.I1; i++ {
+					vol += g.CellVolume(i, j, k)
+				}
+			}
+		}
+		if vol == 0 {
+			continue
+		}
+		for k := s.box.K0; k < s.box.K1; k++ {
+			for j := s.box.J0; j < s.box.J1; j++ {
+				for i := s.box.I0; i < s.box.I1; i++ {
+					b[g.Index(i, j, k)] += s.power * g.CellVolume(i, j, k) / vol
+				}
+			}
+		}
+	}
+
+	return coo.ToCSR(), b
+}
+
+// addPair adds a symmetric conductance between cells a and b.
+func addPair(coo *linalg.COO, a, b int, g float64) {
+	coo.Add(a, a, g)
+	coo.Add(b, b, g)
+	coo.Add(a, b, -g)
+	coo.Add(b, a, -g)
+}
+
+// faceConductance is the series (harmonic-mean) conductance between two
+// adjacent cell centres through their shared face.
+func faceConductance(area, d1, k1, d2, k2 float64) float64 {
+	r := d1/(2*k1*area) + d2/(2*k2*area)
+	return 1 / r
+}
+
+// faceAxis maps a face to its normal axis index.
+func faceAxis(f mesh.Face) int {
+	switch f {
+	case mesh.XMin, mesh.XMax:
+		return 0
+	case mesh.YMin, mesh.YMax:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// cellExtent returns the cell size normal to face f.
+func cellExtent(g *mesh.Grid, f mesh.Face, i, j, k int) float64 {
+	switch f {
+	case mesh.XMin, mesh.XMax:
+		return g.DX(i)
+	case mesh.YMin, mesh.YMax:
+		return g.DY(j)
+	default:
+		return g.DZ(k)
+	}
+}
+
+// BoundaryHeatFlow returns the net heat flow (W, positive out of the
+// domain) through face f for a solved field — used by energy-conservation
+// checks and by exchanger sizing.
+func (m *Model) BoundaryHeatFlow(res *Result, f mesh.Face) float64 {
+	g := m.Grid
+	total := 0.0
+	g.BoundaryCells(f, func(i, j, k int) {
+		bc := m.bcAt(f, i, j, k)
+		if bc.Kind == Adiabatic {
+			return
+		}
+		idx := g.Index(i, j, k)
+		area := g.FaceArea(f, i, j, k)
+		mat := m.matAt(i, j, k)
+		kc := kDir(mat, faceAxis(f))
+		halfDist := 0.5 * cellExtent(g, f, i, j, k)
+		rCond := halfDist / (kc * area)
+		var gTot float64
+		switch bc.Kind {
+		case FixedT:
+			gTot = 1 / rCond
+		case Convection, ConvectionRadiation:
+			h := bc.H
+			if bc.Kind == ConvectionRadiation {
+				eps := bc.Emiss
+				if eps == 0 {
+					eps = mat.Emiss
+				}
+				Ts := res.T[idx]
+				h += eps * units.StefanBoltzmann * (Ts*Ts + bc.T*bc.T) * (Ts + bc.T)
+			}
+			if h <= 0 {
+				return
+			}
+			gTot = 1 / (rCond + 1/(h*area))
+		}
+		total += gTot * (res.T[idx] - bc.T)
+	})
+	return total
+}
+
+// TransientOptions tunes the transient solver.
+type TransientOptions struct {
+	SolveOptions
+	Dt    float64 // time step, s (required)
+	Steps int     // number of steps (required)
+	// Snapshot, if non-nil, is called after every step with the time and
+	// current field (aliased — copy if retained).
+	Snapshot func(t float64, T []float64)
+}
+
+// SolveTransient integrates ∂(ρc_p T)/∂t = ∇·(k∇T) + q with implicit
+// (backward) Euler from a uniform initial temperature T0.  Radiative BCs
+// are linearised about the previous step's field.
+func (m *Model) SolveTransient(T0 float64, opts *TransientOptions) (*Result, error) {
+	if opts == nil || opts.Dt <= 0 || opts.Steps <= 0 {
+		return nil, fmt.Errorf("thermal: transient solve requires positive Dt and Steps")
+	}
+	g := m.Grid
+	n := g.NumCells()
+	o := opts.SolveOptions
+	o.defaults(n)
+
+	T := make([]float64, n)
+	for i := range T {
+		T[i] = T0
+	}
+	// Per-cell heat capacity C = rho·cp·V.
+	cap := make([]float64, n)
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				mat := m.matAt(i, j, k)
+				cap[g.Index(i, j, k)] = mat.VolumetricHeatCapacity() * g.CellVolume(i, j, k)
+			}
+		}
+	}
+
+	res := &Result{g: g}
+	rhs := make([]float64, n)
+	t := 0.0
+	for step := 0; step < opts.Steps; step++ {
+		a, b := m.assemble(T)
+		// (C/dt + A)·T^{n+1} = C/dt·T^n + b — fold capacity into a copy of
+		// the assembled operator.
+		coo := linalg.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+				coo.Add(i, a.ColIdx[kk], a.Val[kk])
+			}
+			coo.Add(i, i, cap[i]/opts.Dt)
+			rhs[i] = b[i] + cap[i]/opts.Dt*T[i]
+		}
+		sys := coo.ToCSR()
+		Tn, stats, err := m.linSolve(sys, rhs, T, &o)
+		res.Iterations = stats.Iterations
+		if err != nil {
+			return nil, fmt.Errorf("thermal: transient step %d: %w", step, err)
+		}
+		copy(T, Tn)
+		t += opts.Dt
+		if opts.Snapshot != nil {
+			opts.Snapshot(t, T)
+		}
+	}
+	res.T = T
+	res.OuterIterations = opts.Steps
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpreadingResistance returns the constriction/spreading resistance (K/W)
+// of a circular heat source of radius r1 centred on a circular plate of
+// radius r2 and thickness t with conductivity k, cooled on the far face by
+// an effective film coefficient h — the Song–Lee–Yovanovich closed form
+// used throughout heatsink and heat-spreader design.
+//
+// It is the quantity that makes the paper's hot-spot problem hard: a die
+// at 100 W/cm² on a plain aluminium lid loses most of its budget to
+// spreading before the coolant ever sees the heat.
+func SpreadingResistance(r1, r2, t, k, h float64) (float64, error) {
+	if r1 <= 0 || r2 <= r1 || t <= 0 || k <= 0 || h <= 0 {
+		return 0, fmt.Errorf("thermal: spreading inputs invalid (r1=%g r2=%g t=%g k=%g h=%g)", r1, r2, t, k, h)
+	}
+	eps := r1 / r2
+	tau := t / r2
+	bi := h * r2 / k
+	lambda := math.Pi + 1/(math.Sqrt(math.Pi)*eps)
+	phi := (math.Tanh(lambda*tau) + lambda/bi) / (1 + lambda/bi*math.Tanh(lambda*tau))
+	psi := eps*tau/math.Sqrt(math.Pi) + 1/math.Sqrt(math.Pi)*(1-eps)*phi
+	return psi / (k * r1 * math.Sqrt(math.Pi)), nil
+}
+
+// EquivalentRadius returns the radius of the circle with the same area as
+// an a×b rectangle — the standard mapping for using circular spreading
+// formulas with rectangular dies and plates.
+func EquivalentRadius(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return math.Sqrt(a * b / math.Pi)
+}
+
+// PlateSourceResistance composes the full die→coolant resistance of a
+// source (area aSrc) on a spreader plate (area aPlate, thickness t,
+// conductivity k) cooled by h on the far face: spreading + one-dimensional
+// conduction + film.
+func PlateSourceResistance(aSrc, aPlate, t, k, h float64) (float64, error) {
+	r1 := EquivalentRadius(math.Sqrt(aSrc), math.Sqrt(aSrc))
+	r2 := EquivalentRadius(math.Sqrt(aPlate), math.Sqrt(aPlate))
+	if r1 == 0 || r2 == 0 || r2 <= r1 {
+		return 0, fmt.Errorf("thermal: source must be smaller than the plate")
+	}
+	rsp, err := SpreadingResistance(r1, r2, t, k, h)
+	if err != nil {
+		return 0, err
+	}
+	r1d := t / (k * aPlate)
+	rFilm := 1 / (h * aPlate)
+	return rsp + r1d + rFilm, nil
+}

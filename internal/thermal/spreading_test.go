@@ -1,0 +1,98 @@
+package thermal
+
+import (
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestSpreadingResistanceLimits(t *testing.T) {
+	// Source as large as the plate minus epsilon: spreading term vanishes
+	// and the 1-D + film result dominates.
+	rNear, err := SpreadingResistance(0.0499, 0.05, 2e-3, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := SpreadingResistance(0.005, 0.05, 2e-3, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall <= rNear {
+		t.Errorf("smaller source must spread harder: %v vs %v", rSmall, rNear)
+	}
+}
+
+func TestSpreadingResistanceMonotoneInK(t *testing.T) {
+	prev := 1e9
+	for _, k := range []float64{20, 50, 167, 398, 1500} {
+		r, err := SpreadingResistance(0.0075, 0.03, 3e-3, k, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r >= prev {
+			t.Fatalf("spreading must fall with conductivity at k=%v", k)
+		}
+		prev = r
+	}
+}
+
+func TestSpreadingResistanceMagnitude(t *testing.T) {
+	// 15 mm die on a 60 mm copper lid, 3 mm thick, liquid cooled: the
+	// spreading term is a few hundredths of a K/W — the classic handbook
+	// scale.
+	r1 := EquivalentRadius(15e-3, 15e-3)
+	r2 := EquivalentRadius(60e-3, 60e-3)
+	r, err := SpreadingResistance(r1, r2, 3e-3, 398, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.01 || r > 0.3 {
+		t.Errorf("spreading R = %v K/W, want handbook 0.02–0.2 scale", r)
+	}
+}
+
+func TestSpreadingValidation(t *testing.T) {
+	if _, err := SpreadingResistance(0, 1, 1, 1, 1); err == nil {
+		t.Error("zero source should error")
+	}
+	if _, err := SpreadingResistance(2, 1, 1, 1, 1); err == nil {
+		t.Error("source larger than plate should error")
+	}
+	if _, err := SpreadingResistance(0.1, 1, -1, 1, 1); err == nil {
+		t.Error("negative thickness should error")
+	}
+}
+
+func TestEquivalentRadius(t *testing.T) {
+	// Unit square → r = 1/√π.
+	if got := EquivalentRadius(1, 1); !units.ApproxEqual(got, 0.5641895835, 1e-9) {
+		t.Errorf("EquivalentRadius = %v", got)
+	}
+	if EquivalentRadius(0, 1) != 0 {
+		t.Error("degenerate radius should be 0")
+	}
+}
+
+func TestPlateSourceResistance(t *testing.T) {
+	// Full stack must exceed the bare film resistance and shrink as the
+	// plate conductivity rises.
+	aSrc, aPlate := 2.25e-4, 36e-4
+	rAl, err := PlateSourceResistance(aSrc, aPlate, 3e-3, 167, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCu, err := PlateSourceResistance(aSrc, aPlate, 3e-3, 398, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	film := 1 / (2000 * aPlate)
+	if rAl <= film || rCu <= film {
+		t.Error("stack must exceed the bare film")
+	}
+	if rCu >= rAl {
+		t.Error("copper must beat aluminium")
+	}
+	if _, err := PlateSourceResistance(1, 0.5, 1e-3, 100, 100); err == nil {
+		t.Error("source bigger than plate should error")
+	}
+}

@@ -1,0 +1,78 @@
+package tim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aged returns the material's state after n thermal cycles of swing dT
+// (K) — the degradation mechanisms that motivate the paper's interest in
+// reliable interface materials for avionics MTBF targets:
+//
+//   - greases pump out: the CTE-driven squeeze flow voids the bond line,
+//     raising contact resistance with a ~0.7 power of cycle count and
+//     roughly linearly with the swing;
+//   - adhesives delaminate slowly at the interfaces (contact resistance
+//     creep), with the bulk path stable;
+//   - pads relax (slight early improvement as they conform) then hold;
+//   - solders and solid metals are stable until fatigue cracking, which
+//     the reliability package models separately (Coffin–Manson).
+func (m *Material) Aged(cycles int, dT float64) (Material, error) {
+	if cycles < 0 || dT < 0 {
+		return Material{}, fmt.Errorf("tim: aging needs non-negative cycles and swing")
+	}
+	out := *m
+	if cycles == 0 || dT == 0 {
+		return out, nil
+	}
+	n := float64(cycles)
+	sw := dT / 60 // normalised to a 60 K qualification swing
+	switch m.Kind {
+	case "grease", "pcm":
+		// Pump-out: up to ~2.5× contact resistance per 1000 60 K cycles.
+		out.Rc = m.Rc * (1 + 0.05*sw*math.Pow(n, 0.7))
+		// Voiding also effectively thins conductive contact: model as a
+		// small bond-line growth.
+		out.BLT0 = m.BLT0 * (1 + 0.01*sw*math.Pow(n, 0.5))
+	case "adhesive":
+		out.Rc = m.Rc * (1 + 0.008*sw*math.Pow(n, 0.6))
+	case "pad":
+		// Conformance: a few percent improvement saturating quickly.
+		relax := 0.05 * (1 - math.Exp(-n/50))
+		out.Rc = m.Rc * (1 - relax)
+	default:
+		// solder & metals: stable at this level of modelling.
+	}
+	out.Name = fmt.Sprintf("%s@%dcyc", m.Name, cycles)
+	return out, nil
+}
+
+// CyclesToResistanceLimit returns the number of thermal cycles (swing dT)
+// until the interface resistance grows past limit (K·m²/W) at assembly
+// pressure p, or an error if it never does within maxCycles.
+func (m *Material) CyclesToResistanceLimit(dT, p, limit float64, maxCycles int) (int, error) {
+	if limit <= m.Resistance(p) {
+		return 0, nil
+	}
+	lo, hi := 0, maxCycles
+	aged, err := m.Aged(maxCycles, dT)
+	if err != nil {
+		return 0, err
+	}
+	if aged.Resistance(p) < limit {
+		return 0, fmt.Errorf("tim: %s stays below %g K·m²/W through %d cycles", m.Name, limit, maxCycles)
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		a, err := m.Aged(mid, dT)
+		if err != nil {
+			return 0, err
+		}
+		if a.Resistance(p) < limit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,105 @@
+package tim
+
+import (
+	"testing"
+
+	"aeropack/internal/units"
+)
+
+func TestAgingGreasePumpOut(t *testing.T) {
+	g := MustGet("grease-standard")
+	fresh := g.Resistance(2e5)
+	aged, err := g.Aged(1000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1000 := aged.Resistance(2e5)
+	if r1000 <= fresh {
+		t.Error("grease must degrade with cycling")
+	}
+	// Pump-out is significant but not absurd: 1.2–4× after 1000 cycles.
+	if r1000 > 4*fresh || r1000 < 1.2*fresh {
+		t.Errorf("grease degradation ratio %v, want 1.2–4×", r1000/fresh)
+	}
+	// Monotone in cycles and in swing.
+	a2, _ := g.Aged(2000, 60)
+	if a2.Resistance(2e5) <= r1000 {
+		t.Error("more cycles → more degradation")
+	}
+	hot, _ := g.Aged(1000, 100)
+	if hot.Resistance(2e5) <= r1000 {
+		t.Error("bigger swing → more degradation")
+	}
+}
+
+func TestAgingAdhesiveSlower(t *testing.T) {
+	// Adhesives degrade far slower than greases — the reliability argument
+	// for the NANOPACK adhesive route.
+	g := MustGet("grease-standard")
+	a := MustGet("nanopack-Ag-flake-mono")
+	gAged, _ := g.Aged(1000, 60)
+	aAged, _ := a.Aged(1000, 60)
+	gRatio := gAged.Resistance(2e5) / g.Resistance(2e5)
+	aRatio := aAged.Resistance(2e5) / a.Resistance(2e5)
+	if aRatio >= gRatio {
+		t.Errorf("adhesive aging %vx should beat grease %vx", aRatio, gRatio)
+	}
+}
+
+func TestAgingPadRelaxes(t *testing.T) {
+	p := MustGet("pad-gap-filler")
+	aged, _ := p.Aged(500, 60)
+	if aged.Resistance(2e5) >= p.Resistance(2e5) {
+		t.Error("pads conform slightly with cycling")
+	}
+}
+
+func TestAgingSolderStable(t *testing.T) {
+	s := MustGet("solder-indium")
+	aged, _ := s.Aged(1000, 60)
+	if !units.ApproxEqual(aged.Resistance(2e5), s.Resistance(2e5), 1e-9) {
+		t.Error("solder should be stable at this modelling level")
+	}
+}
+
+func TestAgingZeroAndErrors(t *testing.T) {
+	g := MustGet("grease-standard")
+	same, err := g.Aged(0, 60)
+	if err != nil || !units.ApproxEqual(same.Resistance(2e5), g.Resistance(2e5), 1e-12) {
+		t.Error("zero cycles should be identity")
+	}
+	if _, err := g.Aged(-1, 60); err == nil {
+		t.Error("negative cycles should error")
+	}
+	if _, err := g.Aged(10, -5); err == nil {
+		t.Error("negative swing should error")
+	}
+}
+
+func TestCyclesToResistanceLimit(t *testing.T) {
+	g := MustGet("grease-standard")
+	fresh := g.Resistance(2e5)
+	// Limit at 1.5× fresh: must be hit within a plausible cycle count and
+	// bracket correctly (resistance just below at n−1, at/above at n).
+	n, err := g.CyclesToResistanceLimit(60, 2e5, 1.5*fresh, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 || n > 50000 {
+		t.Errorf("cycles to 1.5× = %v, implausible", n)
+	}
+	before, _ := g.Aged(n-1, 60)
+	after, _ := g.Aged(n, 60)
+	if before.Resistance(2e5) >= 1.5*fresh || after.Resistance(2e5) < 1.5*fresh {
+		t.Error("bracketing broken")
+	}
+	// Already over the limit: zero cycles.
+	if n, err := g.CyclesToResistanceLimit(60, 2e5, fresh/2, 1000); err != nil || n != 0 {
+		t.Errorf("already-over case = %v, %v", n, err)
+	}
+	// Never reached: error (solder is stable).
+	s := MustGet("solder-indium")
+	if _, err := s.CyclesToResistanceLimit(60, 2e5, 10*s.Resistance(2e5), 10000); err == nil {
+		t.Error("stable material should never hit the limit")
+	}
+}

@@ -1,0 +1,221 @@
+package tim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aeropack/internal/units"
+)
+
+// D5470Tester is a virtual ASTM D5470 steady-state thermal interface
+// tester: two instrumented copper meter bars squeeze the specimen; the
+// axial temperature gradient in each bar gives the heat flux and the
+// extrapolated surface temperatures give the interface resistance.
+//
+// NANOPACK built such a tester with ±1 K·mm²/W resistance accuracy and
+// ±2 µm thickness accuracy (paper §IV.B); the virtual instrument
+// reproduces the measurement chain including thermocouple noise so those
+// accuracy numbers emerge from the simulation rather than being asserted.
+type D5470Tester struct {
+	// BarK is the meter-bar conductivity (copper reference bars), W/(m·K).
+	BarK float64
+	// BarArea is the specimen/bar cross-section, m².
+	BarArea float64
+	// SensorSpacing is the distance between thermocouples in each bar, m.
+	SensorSpacing float64
+	// SensorsPerBar is the number of thermocouples per bar (≥2).
+	SensorsPerBar int
+	// FirstSensorOffset is the distance from the specimen surface to the
+	// nearest thermocouple, m.
+	FirstSensorOffset float64
+	// NoiseK is the 1σ thermocouple noise, K.
+	NoiseK float64
+	// ThicknessNoiseM is the 1σ micrometer noise on BLT readout, m.
+	ThicknessNoiseM float64
+	// Pressure applied to the specimen, Pa.
+	Pressure float64
+	// Power driven through the stack, W.
+	Power float64
+
+	rng *rand.Rand
+}
+
+// NewD5470 returns a tester with the NANOPACK-class configuration.
+func NewD5470(seed int64) *D5470Tester {
+	return &D5470Tester{
+		BarK:              398,  // copper
+		BarArea:           1e-4, // 10×10 mm specimen (the paper's cm² interfaces)
+		SensorSpacing:     8e-3,
+		SensorsPerBar:     4,
+		FirstSensorOffset: 4e-3,
+		NoiseK:            0.02,
+		ThicknessNoiseM:   1.2e-6,
+		Pressure:          2e5,
+		Power:             15,
+		rng:               rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Measurement is one D5470 reading.
+type Measurement struct {
+	// RMeasured is the measured specific interface resistance, K·m²/W.
+	RMeasured float64
+	// RTrue is the model-truth value for the specimen, K·m²/W.
+	RTrue float64
+	// BLTMeasured and BLTTrue are the measured and true bond lines, m.
+	BLTMeasured, BLTTrue float64
+	// KApparent is the apparent conductivity BLT/R, W/(m·K).
+	KApparent float64
+	// FluxW is the heat flow used, W.
+	FluxW float64
+}
+
+// Error returns the signed resistance error in K·mm²/W.
+func (m Measurement) Error() float64 {
+	return units.ToKMm2PerW(m.RMeasured - m.RTrue)
+}
+
+// Measure runs one virtual measurement of the specimen.
+func (t *D5470Tester) Measure(specimen *Material) (Measurement, error) {
+	if err := t.validate(); err != nil {
+		return Measurement{}, err
+	}
+	if specimen == nil || specimen.K <= 0 {
+		return Measurement{}, fmt.Errorf("tim: invalid specimen")
+	}
+	rTrue := specimen.Resistance(t.Pressure)
+	bltTrue := specimen.BLT(t.Pressure)
+	flux := t.Power / t.BarArea // W/m²
+
+	// Build the true temperature profile: hot bar, specimen, cold bar.
+	// Cold-bar far end held at 25 °C; everything else follows from flux.
+	coldEnd := units.CToK(25)
+	gradBar := flux / t.BarK // K/m in the bars
+
+	// True surface temperatures.
+	coldBarLen := t.FirstSensorOffset + float64(t.SensorsPerBar-1)*t.SensorSpacing + 4e-3
+	tColdSurf := coldEnd + gradBar*coldBarLen
+	tHotSurf := tColdSurf + flux*rTrue
+
+	// Sample thermocouples with noise.  Positions measured from each
+	// specimen surface into its bar: the hot bar gets hotter away from the
+	// specimen, the cold bar colder.
+	hotPos := make([]float64, t.SensorsPerBar)
+	hotTemp := make([]float64, t.SensorsPerBar)
+	coldPos := make([]float64, t.SensorsPerBar)
+	coldTemp := make([]float64, t.SensorsPerBar)
+	for i := 0; i < t.SensorsPerBar; i++ {
+		d := t.FirstSensorOffset + float64(i)*t.SensorSpacing
+		hotPos[i] = d
+		hotTemp[i] = tHotSurf + gradBar*d + t.rng.NormFloat64()*t.NoiseK
+		coldPos[i] = d
+		coldTemp[i] = tColdSurf - gradBar*d + t.rng.NormFloat64()*t.NoiseK
+	}
+
+	// Linear regression per bar → extrapolated surface temperature and
+	// measured flux (from the fitted gradient).
+	hotSurf, hotGrad := fitLine(hotPos, hotTemp)
+	coldSurf, coldGrad := fitLine(coldPos, coldTemp)
+	fluxHot := hotGrad * t.BarK
+	fluxCold := -coldGrad * t.BarK
+	fluxMeas := 0.5 * (fluxHot + fluxCold)
+	if fluxMeas <= 0 {
+		return Measurement{}, fmt.Errorf("tim: non-positive measured flux (noise exceeds signal)")
+	}
+	rMeas := (hotSurf - coldSurf) / fluxMeas
+	bltMeas := bltTrue + t.rng.NormFloat64()*t.ThicknessNoiseM
+	kApp := 0.0
+	if rMeas > 0 {
+		kApp = bltMeas / rMeas
+	}
+	return Measurement{
+		RMeasured:   rMeas,
+		RTrue:       rTrue,
+		BLTMeasured: bltMeas,
+		BLTTrue:     bltTrue,
+		KApparent:   kApp,
+		FluxW:       fluxMeas * t.BarArea,
+	}, nil
+}
+
+func (t *D5470Tester) validate() error {
+	if t.BarK <= 0 || t.BarArea <= 0 || t.SensorSpacing <= 0 ||
+		t.SensorsPerBar < 2 || t.FirstSensorOffset < 0 ||
+		t.Pressure <= 0 || t.Power <= 0 {
+		return fmt.Errorf("tim: invalid D5470 configuration")
+	}
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(1))
+	}
+	return nil
+}
+
+// fitLine returns the intercept (at x=0) and slope of a least-squares
+// line through the points.  For the hot bar the intercept is the surface
+// temperature and the slope the gradient.
+func fitLine(x, y []float64) (intercept, slope float64) {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept = (sy - slope*sx) / n
+	return intercept, slope
+}
+
+// Campaign runs n repeated measurements and summarises the accuracy.
+type CampaignStats struct {
+	N         int
+	MeanError float64 // K·mm²/W
+	StdError  float64 // K·mm²/W
+	MaxAbsErr float64 // K·mm²/W
+	BLTStd    float64 // m
+	MeanRMeas float64 // K·m²/W
+	MeanKApp  float64 // W/(m·K)
+}
+
+// RunCampaign measures the specimen n times and aggregates error
+// statistics — the virtual equivalent of the NANOPACK tester validation.
+func (t *D5470Tester) RunCampaign(specimen *Material, n int) (CampaignStats, error) {
+	if n <= 1 {
+		return CampaignStats{}, fmt.Errorf("tim: campaign needs n ≥ 2")
+	}
+	errs := make([]float64, 0, n)
+	blts := make([]float64, 0, n)
+	var sumR, sumK float64
+	for i := 0; i < n; i++ {
+		m, err := t.Measure(specimen)
+		if err != nil {
+			return CampaignStats{}, err
+		}
+		errs = append(errs, m.Error())
+		blts = append(blts, m.BLTMeasured)
+		sumR += m.RMeasured
+		sumK += m.KApparent
+	}
+	stats := CampaignStats{N: n, MeanRMeas: sumR / float64(n), MeanKApp: sumK / float64(n)}
+	var mean, m2 float64
+	for i, e := range errs {
+		d := e - mean
+		mean += d / float64(i+1)
+		m2 += d * (e - mean)
+		if a := math.Abs(e); a > stats.MaxAbsErr {
+			stats.MaxAbsErr = a
+		}
+	}
+	stats.MeanError = mean
+	stats.StdError = math.Sqrt(m2 / float64(len(errs)-1))
+	var bm, bm2 float64
+	for i, b := range blts {
+		d := b - bm
+		bm += d / float64(i+1)
+		bm2 += d * (b - bm)
+	}
+	stats.BLTStd = math.Sqrt(bm2 / float64(len(blts)-1))
+	return stats, nil
+}

@@ -1,0 +1,302 @@
+package tim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aeropack/internal/units"
+)
+
+func TestMaxwellGarnettLimits(t *testing.T) {
+	// phi=0 → matrix; phi=1 → particle.
+	k, err := MaxwellGarnett(0.2, 400, 0)
+	if err != nil || !units.ApproxEqual(k, 0.2, 1e-12) {
+		t.Errorf("MG(0) = %v", k)
+	}
+	k, _ = MaxwellGarnett(0.2, 400, 1)
+	if !units.ApproxEqual(k, 400, 1e-9) {
+		t.Errorf("MG(1) = %v", k)
+	}
+	if _, err := MaxwellGarnett(-1, 400, 0.5); err == nil {
+		t.Error("negative km should error")
+	}
+	if _, err := MaxwellGarnett(1, 400, 1.5); err == nil {
+		t.Error("phi > 1 should error")
+	}
+}
+
+func TestEffectiveMediumBounds(t *testing.T) {
+	// Property: every EMT prediction respects the Wiener bounds.
+	f := func(rawPhi, rawContrast float64) bool {
+		phi := math.Abs(math.Mod(rawPhi, 1))
+		contrast := 2 + math.Abs(math.Mod(rawContrast, 1000))
+		km := 0.2
+		kp := km * contrast
+		lo, hi := WienerBounds(km, kp, phi)
+		mg, err1 := MaxwellGarnett(km, kp, phi)
+		br, err2 := Bruggeman(km, kp, phi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		const eps = 1e-9
+		return mg >= lo*(1-eps) && mg <= hi*(1+eps) &&
+			br >= lo*(1-eps) && br <= hi*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruggemanPercolates(t *testing.T) {
+	// For high-contrast composites Bruggeman rises much faster than
+	// Maxwell–Garnett above phi = 1/3 (its percolation threshold).
+	km, kp := 0.2, 400.0
+	mg, _ := MaxwellGarnett(km, kp, 0.5)
+	br, _ := Bruggeman(km, kp, 0.5)
+	if br <= mg {
+		t.Errorf("Bruggeman (%v) should exceed MG (%v) above percolation", br, mg)
+	}
+}
+
+func TestLewisNielsenAgFlakeEpoxy(t *testing.T) {
+	// The NANOPACK silver/epoxy products: ~6 and ~9.5 W/m·K at heavy
+	// flake loadings near maximum packing.  Lewis–Nielsen with flake shape
+	// factors must produce that class of numbers from epoxy (0.2) +
+	// silver (429): at φ = 0.48 with φmax = 0.52 the model gives ≈6 W/m·K.
+	k6, err := LewisNielsen(0.2, 429, 0.48, 5, 0.52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k6 < 4 || k6 > 9 {
+		t.Errorf("LN flake at 48%% = %v W/m·K, want ≈6", k6)
+	}
+	// Monotone in loading.
+	k2, _ := LewisNielsen(0.2, 429, 0.50, 5, 0.52)
+	if k2 <= k6 {
+		t.Error("LN must increase with loading")
+	}
+	if _, err := LewisNielsen(0.2, 429, 0.6, 5, 0.52); err == nil {
+		t.Error("loading above phiMax should error")
+	}
+	if _, err := LewisNielsen(0.2, 429, 0.3, -1, 0.52); err == nil {
+		t.Error("bad shape factor should error")
+	}
+}
+
+func TestPercolationElectrical(t *testing.T) {
+	// Below threshold: insulating.
+	s, err := PercolationElectrical(6.3e7, 0.1, 0.25, 2)
+	if err != nil || s != 0 {
+		t.Errorf("below threshold sigma = %v", s)
+	}
+	// Above: conductive, monotone.
+	s1, _ := PercolationElectrical(6.3e7, 0.3, 0.25, 2)
+	s2, _ := PercolationElectrical(6.3e7, 0.4, 0.25, 2)
+	if !(s2 > s1 && s1 > 0) {
+		t.Errorf("percolation not monotone: %v %v", s1, s2)
+	}
+	// NANOPACK class: a well-filled Ag epoxy reaches ~1e-4 Ω·cm = 1e-6 Ω·m
+	// → σ = 1e6 S/m; check the model can reach that order.
+	s3, _ := PercolationElectrical(6.3e7, 0.45, 0.2, 2)
+	if s3 < 1e5 {
+		t.Errorf("filled-adhesive sigma = %v, want ≥1e5 S/m", s3)
+	}
+	if _, err := PercolationElectrical(-1, 0.3, 0.25, 2); err == nil {
+		t.Error("bad sigma0 should error")
+	}
+	if _, err := PercolationElectrical(1, 1.5, 0.25, 2); err == nil {
+		t.Error("phi out of range should error")
+	}
+}
+
+func TestMaterialBLTPressure(t *testing.T) {
+	g := MustGet("grease-standard")
+	// Higher pressure → thinner bond line, clamped at the filler limit.
+	b1 := g.BLT(0.5e5)
+	b2 := g.BLT(2e5)
+	if b2 >= b1 {
+		t.Errorf("BLT should fall with pressure: %v vs %v", b1, b2)
+	}
+	b3 := g.BLT(1e9)
+	if !units.ApproxEqual(b3, g.BLTMin, 1e-12) {
+		t.Errorf("BLT at extreme pressure = %v, want clamp to %v", b3, g.BLTMin)
+	}
+	// Cured adhesives (N=0) ignore pressure.
+	a := MustGet("epoxy-standard")
+	if a.BLT(1e4) != a.BLT(1e6) {
+		t.Error("adhesive BLT should be pressure-independent")
+	}
+}
+
+func TestMaterialResistance(t *testing.T) {
+	g := MustGet("grease-standard")
+	r := g.Resistance(1e5)
+	want := g.BLT(1e5)/g.K + g.Rc
+	if !units.ApproxEqual(r, want, 1e-12) {
+		t.Errorf("Resistance = %v, want %v", r, want)
+	}
+	abs, err := g.ResistanceAbs(1e5, 1e-4)
+	if err != nil || !units.ApproxEqual(abs, r/1e-4, 1e-12) {
+		t.Errorf("ResistanceAbs = %v", abs)
+	}
+	if _, err := g.ResistanceAbs(1e5, 0); err == nil {
+		t.Error("zero area should error")
+	}
+}
+
+func TestHNCReducesBLT(t *testing.T) {
+	// NANOPACK result: HNC reduces final bond line by >20% → resistance
+	// drops correspondingly.
+	g := MustGet("grease-standard")
+	h := g.WithHNC(0.22)
+	if !units.ApproxEqual(h.BLT(1e5), 0.78*g.BLT(1e5), 1e-9) {
+		t.Errorf("HNC BLT = %v, want 22%% below %v", h.BLT(1e5), g.BLT(1e5))
+	}
+	if h.Resistance(1e5) >= g.Resistance(1e5) {
+		t.Error("HNC must reduce interface resistance")
+	}
+	// Clamping of silly reductions.
+	neg := g.WithHNC(-1)
+	if neg.BLT(1e5) != g.BLT(1e5) {
+		t.Error("negative reduction should clamp to 0")
+	}
+	huge := g.WithHNC(5)
+	if huge.BLT(1e5) < g.BLT(1e5)*0.05 {
+		t.Error("reduction should clamp at 90%")
+	}
+}
+
+func TestLibraryAndTargets(t *testing.T) {
+	if len(Names()) < 6 {
+		t.Fatalf("library too small: %v", Names())
+	}
+	for _, n := range Names() {
+		m := MustGet(n)
+		if m.K <= 0 || m.BLT0 <= 0 {
+			t.Errorf("%s: invalid entry", n)
+		}
+	}
+	// The CNT composite meets the full NANOPACK objective set.
+	cnt := MustGet("nanopack-CNT-composite")
+	kOK, rOK, bltOK := cnt.MeetsNanopackTarget(2e5)
+	if !kOK || !rOK || !bltOK {
+		t.Errorf("CNT composite should meet all targets: k=%v r=%v blt=%v", kOK, rOK, bltOK)
+	}
+	// The standard grease does not meet the conductivity target.
+	g := MustGet("grease-standard")
+	kOK, _, _ = g.MeetsNanopackTarget(2e5)
+	if kOK {
+		t.Error("standard grease should fail the 20 W/m·K target")
+	}
+	// NANOPACK adhesives beat the standard epoxy's resistance.
+	ag := MustGet("nanopack-Ag-flake-mono")
+	std := MustGet("epoxy-standard")
+	if ag.Resistance(2e5) >= std.Resistance(2e5) {
+		t.Error("NANOPACK adhesive should beat standard epoxy")
+	}
+	// Shear strength per the paper: 14 MPa for the mono-epoxy.
+	if ag.ShearStrength != 14e6 {
+		t.Errorf("mono-epoxy shear = %v, want 14 MPa", ag.ShearStrength)
+	}
+}
+
+func TestGetUnknownAndRegister(t *testing.T) {
+	if _, err := Get("vaporware"); err == nil {
+		t.Error("unknown TIM should error")
+	}
+	if err := Register(Material{}); err == nil {
+		t.Error("invalid register should error")
+	}
+	if err := Register(Material{Name: "custom", K: 4, BLT0: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("custom"); err != nil {
+		t.Error("registered TIM not found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet should panic")
+		}
+	}()
+	MustGet("vaporware")
+}
+
+func TestD5470SingleMeasurement(t *testing.T) {
+	tester := NewD5470(42)
+	g := MustGet("grease-standard")
+	m, err := tester.Measure(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error within the paper's ±1 K·mm²/W accuracy class.
+	if math.Abs(m.Error()) > 1.0 {
+		t.Errorf("single-shot error %v K·mm²/W exceeds ±1", m.Error())
+	}
+	if m.RMeasured <= 0 || m.BLTMeasured <= 0 {
+		t.Error("non-physical measurement")
+	}
+	if m.FluxW <= 0 {
+		t.Error("flux should be positive")
+	}
+}
+
+func TestD5470CampaignAccuracy(t *testing.T) {
+	// The NANOPACK tester claims: ±1 K·mm²/W resistance accuracy and
+	// ±2 µm thickness.  A 200-shot campaign must stay inside both.
+	tester := NewD5470(7)
+	g := MustGet("grease-standard")
+	stats, err := tester.RunCampaign(&g, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.MeanError) > 0.3 {
+		t.Errorf("campaign bias %v K·mm²/W too large", stats.MeanError)
+	}
+	if stats.MaxAbsErr > 1.0 {
+		t.Errorf("max error %v K·mm²/W exceeds ±1 spec", stats.MaxAbsErr)
+	}
+	if stats.BLTStd > 2e-6 {
+		t.Errorf("BLT std %v m exceeds ±2 µm spec", stats.BLTStd)
+	}
+	if stats.MeanKApp <= 0 {
+		t.Error("apparent conductivity should be positive")
+	}
+	if _, err := tester.RunCampaign(&g, 1); err == nil {
+		t.Error("campaign with n=1 should error")
+	}
+}
+
+func TestD5470DiscriminatesTIMs(t *testing.T) {
+	// The tester must rank materials by true resistance.
+	tester := NewD5470(3)
+	var prev float64
+	for i, name := range []string{"solder-indium", "nanopack-CNT-composite", "grease-standard", "pad-gap-filler"} {
+		m := MustGet(name)
+		meas, err := tester.Measure(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && meas.RMeasured <= prev {
+			t.Errorf("%s measured %v, should exceed previous %v", name, meas.RMeasured, prev)
+		}
+		prev = meas.RMeasured
+	}
+}
+
+func TestD5470Validation(t *testing.T) {
+	tester := NewD5470(1)
+	tester.SensorsPerBar = 1
+	g := MustGet("grease-standard")
+	if _, err := tester.Measure(&g); err == nil {
+		t.Error("too few sensors should error")
+	}
+	tester = NewD5470(1)
+	if _, err := tester.Measure(nil); err == nil {
+		t.Error("nil specimen should error")
+	}
+	tester.Power = -1
+	if _, err := tester.Measure(&g); err == nil {
+		t.Error("negative power should error")
+	}
+}

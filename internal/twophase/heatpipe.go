@@ -1,0 +1,332 @@
+// Package twophase models the passive phase-change cooling devices the
+// paper's COSEE project evaluates: conventional heat pipes (HP), loop heat
+// pipes (LHP) and two-phase thermosyphons.
+//
+// Heat pipes are modelled with the standard operating-limit set (capillary,
+// sonic, entrainment, boiling, viscous — Peterson 1994, the paper's ref
+// [3]) plus a series thermal-resistance network (wall → wick → vapour →
+// wick → wall).  Loop heat pipes use the variable-conductance behaviour
+// reported in the LHP literature (Maidanik 2005, Launay et al. 2007 — refs
+// [4,5]): conductance grows with applied power in the variable-conductance
+// regime, plateaus, and collapses at the capillary limit; orientation
+// sensitivity is weak (the paper's Fig. 10 shows the 22° tilt curve close
+// to horizontal), which the model reproduces through the small secondary-
+// wick gravity term.
+package twophase
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/fluids"
+	"aeropack/internal/units"
+)
+
+// Wick describes a capillary wick structure.
+type Wick struct {
+	Name         string
+	Porosity     float64 // ε, 0..1
+	Permeability float64 // K, m²
+	PoreRadius   float64 // effective capillary pore radius, m
+	K            float64 // effective wick+liquid thermal conductivity, W/(m·K)
+	Thickness    float64 // radial wick thickness, m
+}
+
+// SinteredCopperWick returns a typical sintered copper powder wick of the
+// given thickness: fine pores (high capillary pressure, moderate
+// permeability) — the COSEE heat-pipe class.
+func SinteredCopperWick(thickness float64) Wick {
+	return Wick{
+		Name:         "sintered-copper",
+		Porosity:     0.5,
+		Permeability: 5e-11,
+		PoreRadius:   20e-6,
+		K:            40,
+		Thickness:    thickness,
+	}
+}
+
+// AxialGrooveWick returns an aluminium axial-groove wick: large grooves
+// (low capillary pressure, high permeability), common in aluminium/ammonia
+// spacecraft heat pipes.
+func AxialGrooveWick(thickness float64) Wick {
+	return Wick{
+		Name:         "axial-groove",
+		Porosity:     0.6,
+		Permeability: 1e-9,
+		PoreRadius:   250e-6,
+		K:            90,
+		Thickness:    thickness,
+	}
+}
+
+// ScreenMeshWick returns a stainless screen mesh wick.
+func ScreenMeshWick(thickness float64) Wick {
+	return Wick{
+		Name:         "screen-mesh",
+		Porosity:     0.65,
+		Permeability: 1.5e-10,
+		PoreRadius:   50e-6,
+		K:            2.5,
+		Thickness:    thickness,
+	}
+}
+
+// HeatPipe is a conventional cylindrical wicked heat pipe.
+type HeatPipe struct {
+	Fluid *fluids.Fluid
+	Wick  Wick
+
+	LEvap, LAdia, LCond float64 // section lengths, m
+	RadiusVapor         float64 // vapour core radius, m
+	WallThickness       float64 // envelope wall thickness, m
+	WallK               float64 // envelope conductivity, W/(m·K)
+
+	// TiltDeg is the inclination of the pipe: positive = evaporator above
+	// condenser (gravity opposes liquid return — the hard direction).
+	TiltDeg float64
+	// NucleationRadius for the boiling limit (default 1e-6 m if zero).
+	NucleationRadius float64
+}
+
+// Validate checks the geometry.
+func (hp *HeatPipe) Validate() error {
+	if hp.Fluid == nil {
+		return fmt.Errorf("twophase: heat pipe needs a fluid")
+	}
+	if hp.LEvap <= 0 || hp.LCond <= 0 || hp.LAdia < 0 {
+		return fmt.Errorf("twophase: section lengths invalid")
+	}
+	if hp.RadiusVapor <= 0 || hp.WallThickness <= 0 || hp.WallK <= 0 {
+		return fmt.Errorf("twophase: envelope geometry invalid")
+	}
+	w := hp.Wick
+	if w.Porosity <= 0 || w.Porosity >= 1 || w.Permeability <= 0 ||
+		w.PoreRadius <= 0 || w.K <= 0 || w.Thickness <= 0 {
+		return fmt.Errorf("twophase: wick parameters invalid")
+	}
+	return nil
+}
+
+// EffectiveLength is the standard L_eff = L_adia + (L_evap+L_cond)/2.
+func (hp *HeatPipe) EffectiveLength() float64 {
+	return hp.LAdia + 0.5*(hp.LEvap+hp.LCond)
+}
+
+// TotalLength is the end-to-end pipe length.
+func (hp *HeatPipe) TotalLength() float64 {
+	return hp.LEvap + hp.LAdia + hp.LCond
+}
+
+// wickArea is the annular wick cross-section.
+func (hp *HeatPipe) wickArea() float64 {
+	ro := hp.RadiusVapor + hp.Wick.Thickness
+	return math.Pi * (ro*ro - hp.RadiusVapor*hp.RadiusVapor)
+}
+
+// vaporArea is the vapour core cross-section.
+func (hp *HeatPipe) vaporArea() float64 {
+	return math.Pi * hp.RadiusVapor * hp.RadiusVapor
+}
+
+// Limits holds the five classical heat-pipe operating limits at one
+// temperature, in watts.
+type Limits struct {
+	Capillary   float64
+	Sonic       float64
+	Entrainment float64
+	Boiling     float64
+	Viscous     float64
+}
+
+// Min returns the governing (smallest) limit and its name.
+func (l Limits) Min() (float64, string) {
+	best, name := l.Capillary, "capillary"
+	if l.Sonic < best {
+		best, name = l.Sonic, "sonic"
+	}
+	if l.Entrainment < best {
+		best, name = l.Entrainment, "entrainment"
+	}
+	if l.Boiling < best {
+		best, name = l.Boiling, "boiling"
+	}
+	if l.Viscous < best {
+		best, name = l.Viscous, "viscous"
+	}
+	return best, name
+}
+
+// Limits evaluates the operating limits at vapour temperature T (K).
+func (hp *HeatPipe) Limits(T float64) (Limits, error) {
+	if err := hp.Validate(); err != nil {
+		return Limits{}, err
+	}
+	s := hp.Fluid.Sat(T)
+	leff := hp.EffectiveLength()
+	aw := hp.wickArea()
+	av := hp.vaporArea()
+
+	// Capillary limit: liquid-path pressure balance.
+	// ΔP_cap,max = 2σ/r_p ≥ ΔP_liquid + ΔP_gravity (vapour drop neglected).
+	dpCap := 2 * s.Sigma / hp.Wick.PoreRadius
+	dpGrav := s.RhoL * units.Gravity * hp.TotalLength() * math.Sin(hp.TiltDeg*math.Pi/180)
+	// Q_cap = (ρ_l σ h_fg/μ_l)·(A_w K/(σ L_eff))·(ΔP_cap − ΔP_grav) form:
+	avail := dpCap - dpGrav
+	var qCap float64
+	if avail <= 0 {
+		qCap = 0
+	} else {
+		qCap = s.RhoL * s.Hfg * hp.Wick.Permeability * aw / (s.MuL * leff) * avail
+	}
+
+	// Sonic limit (Busse): Q_s = 0.474·A_v·h_fg·sqrt(ρ_v·P_v).
+	qSonic := 0.474 * av * s.Hfg * math.Sqrt(s.RhoV*s.Psat)
+
+	// Entrainment limit: Q_e = A_v·h_fg·sqrt(σ·ρ_v/(2·r_h)), r_h ≈ pore radius.
+	qEnt := av * s.Hfg * math.Sqrt(s.Sigma*s.RhoV/(2*hp.Wick.PoreRadius))
+
+	// Boiling limit: nucleate boiling in the evaporator wick.
+	rn := hp.NucleationRadius
+	if rn <= 0 {
+		rn = 1e-6
+	}
+	ro := hp.RadiusVapor + hp.Wick.Thickness
+	qBoil := 4 * math.Pi * hp.LEvap * hp.Wick.K * T * s.Sigma /
+		(s.Hfg * s.RhoV * math.Log(ro/hp.RadiusVapor)) *
+		(1/rn - 1/hp.Wick.PoreRadius)
+	if qBoil < 0 {
+		qBoil = 0
+	}
+
+	// Viscous (vapour-pressure) limit, relevant near the freezing point:
+	// Q_v = A_v·r_v²·h_fg·ρ_v·P_v/(16·μ_v·L_eff).
+	qVisc := av * hp.RadiusVapor * hp.RadiusVapor * s.Hfg * s.RhoV * s.Psat /
+		(16 * s.MuV * leff)
+
+	return Limits{
+		Capillary:   qCap,
+		Sonic:       qSonic,
+		Entrainment: qEnt,
+		Boiling:     qBoil,
+		Viscous:     qVisc,
+	}, nil
+}
+
+// MaxPower returns the governing transport limit at temperature T and the
+// limiting mechanism's name.
+func (hp *HeatPipe) MaxPower(T float64) (float64, string, error) {
+	lims, err := hp.Limits(T)
+	if err != nil {
+		return 0, "", err
+	}
+	q, name := lims.Min()
+	return q, name, nil
+}
+
+// Resistance returns the end-to-end thermal resistance (K/W) at vapour
+// temperature T carrying power q: wall conduction in/out, radial wick
+// conduction in/out, and the (tiny) vapour temperature drop.  Returns an
+// error if q exceeds the governing limit (dry-out).
+func (hp *HeatPipe) Resistance(T, q float64) (float64, error) {
+	if err := hp.Validate(); err != nil {
+		return 0, err
+	}
+	if q < 0 {
+		return 0, fmt.Errorf("twophase: negative power")
+	}
+	if qMax, mech, _ := hp.MaxPower(T); q > qMax {
+		return 0, fmt.Errorf("twophase: %g W exceeds %s limit %g W at %g K", q, mech, qMax, T)
+	}
+	s := hp.Fluid.Sat(T)
+	ro := hp.RadiusVapor + hp.Wick.Thickness
+	rOuter := ro + hp.WallThickness
+
+	radial := func(l float64) float64 {
+		rWall := math.Log(rOuter/ro) / (2 * math.Pi * hp.WallK * l)
+		rWick := math.Log(ro/hp.RadiusVapor) / (2 * math.Pi * hp.Wick.K * l)
+		return rWall + rWick
+	}
+	// Vapour flow resistance expressed as an equivalent ΔT/Q via the
+	// Clausius–Clapeyron slope: R_v = T·ΔP_v/(ρ_v·h_fg·Q)… use the
+	// laminar vapour pressure drop.
+	leff := hp.EffectiveLength()
+	dpdq := 8 * s.MuV * leff / (math.Pi * s.RhoV * s.Hfg * math.Pow(hp.RadiusVapor, 4))
+	rVap := T * dpdq / (s.RhoV * s.Hfg)
+
+	return radial(hp.LEvap) + radial(hp.LCond) + rVap, nil
+}
+
+// Conductance returns 1/Resistance, in W/K.
+func (hp *HeatPipe) Conductance(T, q float64) (float64, error) {
+	r, err := hp.Resistance(T, q)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / r, nil
+}
+
+// SelectFluid picks the working fluid with the best merit number whose
+// validity window covers the operating range [Tmin, Tmax] with margin to
+// the freezing point — the first decision of any heat-pipe design.
+// aluminiumEnvelope excludes water (incompatible: hydrogen generation).
+func SelectFluid(Tmin, Tmax float64, aluminiumEnvelope bool) (*fluids.Fluid, error) {
+	if Tmax <= Tmin {
+		return nil, fmt.Errorf("twophase: invalid temperature range")
+	}
+	var best *fluids.Fluid
+	bestMerit := 0.0
+	for _, name := range fluids.Names() {
+		f := fluids.MustGet(name)
+		if aluminiumEnvelope && name == "water" {
+			continue
+		}
+		if Tmin < f.FreezeT+10 { // 10 K freeze margin
+			continue
+		}
+		if !f.InRange(Tmin) || !f.InRange(Tmax) {
+			continue
+		}
+		merit := f.Sat(0.5 * (Tmin + Tmax)).MeritNumber()
+		if merit > bestMerit {
+			best, bestMerit = f, merit
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("twophase: no fluid covers %g–%g K", Tmin, Tmax)
+	}
+	return best, nil
+}
+
+// PerformancePoint is one sample of a heat pipe's limit-versus-temperature
+// map.
+type PerformancePoint struct {
+	T         float64 // vapour temperature, K
+	Limits    Limits
+	Governing float64
+	Mechanism string
+}
+
+// PerformanceMap samples the operating limits over [Tmin, Tmax] — the
+// classical heat-pipe performance envelope figure, dominated by the
+// viscous/sonic limits near the freezing point and the capillary limit in
+// the working band.
+func (hp *HeatPipe) PerformanceMap(Tmin, Tmax float64, n int) ([]PerformancePoint, error) {
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	if Tmax <= Tmin || n < 2 {
+		return nil, fmt.Errorf("twophase: invalid performance map range")
+	}
+	out := make([]PerformancePoint, 0, n)
+	for i := 0; i < n; i++ {
+		T := Tmin + (Tmax-Tmin)*float64(i)/float64(n-1)
+		lims, err := hp.Limits(T)
+		if err != nil {
+			return nil, err
+		}
+		q, mech := lims.Min()
+		out = append(out, PerformancePoint{T: T, Limits: lims, Governing: q, Mechanism: mech})
+	}
+	return out, nil
+}

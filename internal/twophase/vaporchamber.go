@@ -1,0 +1,179 @@
+package twophase
+
+import (
+	"fmt"
+	"math"
+
+	"aeropack/internal/fluids"
+)
+
+// VaporChamber is a flat-plate heat pipe used as a heat spreader under a
+// high-flux die — the device class the paper's §IV points at for hot
+// spots beyond forced air's ~10 W/cm² ceiling.  The sealed cavity's
+// saturated vapour makes the plate behave like a solid with an enormous
+// effective lateral conductivity, so a concentrated source is delivered
+// almost uniformly to the whole condenser face.
+type VaporChamber struct {
+	Fluid *fluids.Fluid
+	Wick  Wick // evaporator/condenser wick lining both faces
+
+	// Plate geometry.
+	Length, Width float64 // in-plane, m
+	Thickness     float64 // overall plate thickness, m
+	WallThickness float64 // each face wall, m
+	WallK         float64 // envelope conductivity, W/(m·K)
+
+	// SourceArea is the die contact area on the evaporator face, m².
+	SourceArea float64
+}
+
+// Validate checks the geometry.
+func (vc *VaporChamber) Validate() error {
+	if vc.Fluid == nil {
+		return fmt.Errorf("twophase: vapor chamber needs a fluid")
+	}
+	if vc.Length <= 0 || vc.Width <= 0 || vc.Thickness <= 0 {
+		return fmt.Errorf("twophase: vapor chamber plate geometry invalid")
+	}
+	if vc.WallThickness <= 0 || vc.WallK <= 0 {
+		return fmt.Errorf("twophase: vapor chamber wall invalid")
+	}
+	core := vc.Thickness - 2*vc.WallThickness - 2*vc.Wick.Thickness
+	if core <= 0 {
+		return fmt.Errorf("twophase: no vapour core left (thickness %g too small)", vc.Thickness)
+	}
+	if vc.SourceArea <= 0 || vc.SourceArea >= vc.Length*vc.Width {
+		return fmt.Errorf("twophase: source area must be positive and smaller than the plate")
+	}
+	w := vc.Wick
+	if w.Porosity <= 0 || w.Porosity >= 1 || w.PoreRadius <= 0 || w.K <= 0 || w.Thickness <= 0 {
+		return fmt.Errorf("twophase: wick parameters invalid")
+	}
+	return nil
+}
+
+// PlateArea returns the full condenser face area.
+func (vc *VaporChamber) PlateArea() float64 { return vc.Length * vc.Width }
+
+// Resistance returns the source-to-condenser-face thermal resistance
+// (K/W) at vapour temperature T: wall + wick conduction over the source
+// footprint in, saturated vapour (isothermal), wick + wall out over the
+// full plate.
+func (vc *VaporChamber) Resistance(T, q float64) (float64, error) {
+	if err := vc.Validate(); err != nil {
+		return 0, err
+	}
+	if q <= 0 {
+		return 0, fmt.Errorf("twophase: power must be positive")
+	}
+	if qMax, mech, _ := vc.MaxPower(T); q > qMax {
+		return 0, fmt.Errorf("twophase: %g W exceeds vapor chamber %s limit %g W", q, mech, qMax)
+	}
+	rIn := vc.WallThickness/(vc.WallK*vc.SourceArea) +
+		vc.Wick.Thickness/(vc.Wick.K*vc.SourceArea)
+	a := vc.PlateArea()
+	rOut := vc.Wick.Thickness/(vc.Wick.K*a) + vc.WallThickness/(vc.WallK*a)
+	return rIn + rOut, nil
+}
+
+// MaxFlux returns the evaporator boiling-limit flux (W/m²) at temperature
+// T: the classic thin-wick nucleation criterion.
+func (vc *VaporChamber) MaxFlux(T float64) (float64, error) {
+	if err := vc.Validate(); err != nil {
+		return 0, err
+	}
+	s := vc.Fluid.Sat(T)
+	const rn = 1e-6 // nucleation cavity radius, m
+	// q″_max = k_eff·ΔT_crit/δ with ΔT_crit = 2σT/(h_fg·ρ_v)·(1/rn − 1/rp).
+	dTcrit := 2 * s.Sigma * T / (s.Hfg * s.RhoV) * (1/rn - 1/vc.Wick.PoreRadius)
+	return vc.Wick.K * dTcrit / vc.Wick.Thickness, nil
+}
+
+// MaxPower returns the governing limit: boiling at the source, or the
+// capillary limit of the radial wick return.
+func (vc *VaporChamber) MaxPower(T float64) (float64, string, error) {
+	if err := vc.Validate(); err != nil {
+		return 0, "", err
+	}
+	flux, err := vc.MaxFlux(T)
+	if err != nil {
+		return 0, "", err
+	}
+	qBoil := flux * vc.SourceArea
+	// Capillary: radial Darcy flow from the rim to the source centre.
+	s := vc.Fluid.Sat(T)
+	rSrc := math.Sqrt(vc.SourceArea / math.Pi)
+	rPlate := math.Sqrt(vc.PlateArea() / math.Pi)
+	dpCap := 2 * s.Sigma / vc.Wick.PoreRadius
+	// ΔP = ṁ·μ·ln(r2/r1)/(2π·ρ·K·δ) for radial flow in a disc wick.
+	perMdot := s.MuL * math.Log(rPlate/rSrc) /
+		(2 * math.Pi * s.RhoL * vc.Wick.Permeability * vc.Wick.Thickness)
+	qCap := dpCap / perMdot * s.Hfg
+	if qBoil <= qCap {
+		return qBoil, "boiling", nil
+	}
+	return qCap, "capillary", nil
+}
+
+// EffectiveConductivity returns the equivalent solid conductivity a plate
+// of the same dimensions would need to match the chamber's source-to-face
+// resistance with uniform far-face cooling h — the number vendors quote
+// (thousands of W/m·K).
+func (vc *VaporChamber) EffectiveConductivity(T, q, h float64) (float64, error) {
+	rvc, err := vc.Resistance(T, q)
+	if err != nil {
+		return 0, err
+	}
+	if h <= 0 {
+		return 0, fmt.Errorf("twophase: film coefficient must be positive")
+	}
+	// Total with film.
+	a := vc.PlateArea()
+	rTot := rvc + 1/(h*a)
+	// Bisection on k for a solid plate with the same total.
+	solid := func(k float64) float64 {
+		r, err := solidPlateResistance(vc.SourceArea, a, vc.Thickness, k, h)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return r
+	}
+	lo, hi := 1.0, 1e6
+	if solid(hi) > rTot {
+		return hi, nil // beyond equivalence of any solid
+	}
+	for i := 0; i < 100; i++ {
+		mid := math.Sqrt(lo * hi)
+		if solid(mid) > rTot {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// solidPlateResistance mirrors thermal.PlateSourceResistance without
+// importing it (avoiding a dependency cycle is not an issue here — this
+// keeps twophase self-contained for the comparison).
+func solidPlateResistance(aSrc, aPlate, t, k, h float64) (float64, error) {
+	if aSrc <= 0 || aPlate <= aSrc || t <= 0 || k <= 0 || h <= 0 {
+		return 0, fmt.Errorf("twophase: invalid solid plate inputs")
+	}
+	r1 := math.Sqrt(aSrc / math.Pi)
+	r2 := math.Sqrt(aPlate / math.Pi)
+	eps := r1 / r2
+	tau := t / r2
+	bi := h * r2 / k
+	lambda := math.Pi + 1/(math.Sqrt(math.Pi)*eps)
+	phi := (math.Tanh(lambda*tau) + lambda/bi) / (1 + lambda/bi*math.Tanh(lambda*tau))
+	psi := eps*tau/math.Sqrt(math.Pi) + 1/math.Sqrt(math.Pi)*(1-eps)*phi
+	rsp := psi / (k * r1 * math.Sqrt(math.Pi))
+	return rsp + t/(k*aPlate) + 1/(h*aPlate), nil
+}
+
+// SolidSpreaderResistance exposes the solid-plate comparison for benches:
+// the same geometry in a solid material of conductivity k.
+func (vc *VaporChamber) SolidSpreaderResistance(k, h float64) (float64, error) {
+	return solidPlateResistance(vc.SourceArea, vc.PlateArea(), vc.Thickness, k, h)
+}

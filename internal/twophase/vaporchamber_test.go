@@ -1,0 +1,146 @@
+package twophase
+
+import (
+	"testing"
+
+	"aeropack/internal/fluids"
+	"aeropack/internal/units"
+)
+
+// cpuVaporChamber is a 60×60×3 mm water chamber under a 15×15 mm die.
+func cpuVaporChamber() *VaporChamber {
+	return &VaporChamber{
+		Fluid:         fluids.MustGet("water"),
+		Wick:          SinteredCopperWick(0.4e-3),
+		Length:        0.06,
+		Width:         0.06,
+		Thickness:     3e-3,
+		WallThickness: 0.5e-3,
+		WallK:         398,
+		SourceArea:    15e-3 * 15e-3,
+	}
+}
+
+func TestVaporChamberValidate(t *testing.T) {
+	vc := cpuVaporChamber()
+	if err := vc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*VaporChamber){
+		func(v *VaporChamber) { v.Fluid = nil },
+		func(v *VaporChamber) { v.Length = 0 },
+		func(v *VaporChamber) { v.WallK = 0 },
+		func(v *VaporChamber) { v.Thickness = 1e-3 }, // no core left
+		func(v *VaporChamber) { v.SourceArea = 0 },
+		func(v *VaporChamber) { v.SourceArea = 1 }, // bigger than plate
+		func(v *VaporChamber) { v.Wick.PoreRadius = 0 },
+	}
+	for i, mutate := range cases {
+		bad := *vc
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestVaporChamberHandles100WPerCm2(t *testing.T) {
+	// The paper's end-of-roadmap hot spot: 100 W/cm² on a 2.25 cm² die
+	// (225 W).  The chamber's boiling limit must clear it.
+	vc := cpuVaporChamber()
+	flux, err := vc.MaxFlux(units.CToK(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units.ToWPerCm2(flux) < 100 {
+		t.Errorf("vapor chamber max flux = %.0f W/cm², must clear 100", units.ToWPerCm2(flux))
+	}
+	q, mech, err := vc.MaxPower(units.CToK(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 100*2.25 {
+		t.Errorf("max power %v W (%s) below the 225 W die", q, mech)
+	}
+}
+
+func TestVaporChamberBeatsSolidCopper(t *testing.T) {
+	// The reason the technology exists: far lower source-to-sink
+	// resistance than an identical solid copper spreader.
+	vc := cpuVaporChamber()
+	T := units.CToK(85)
+	rvc, err := vc.Resistance(T, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 2000 // liquid cold plate on the condenser face
+	rcu, err := vc.SolidSpreaderResistance(398, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := vc.PlateArea()
+	rvcTotal := rvc + 1/(h*a)
+	if rvcTotal >= rcu {
+		t.Errorf("vapor chamber total %v should beat solid copper %v", rvcTotal, rcu)
+	}
+	// Effective conductivity is in the vendor-quoted thousands.
+	keff, err := vc.EffectiveConductivity(T, 150, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keff < 1000 {
+		t.Errorf("effective conductivity %v W/m·K, want ≥1000", keff)
+	}
+}
+
+func TestVaporChamberResistanceMagnitude(t *testing.T) {
+	vc := cpuVaporChamber()
+	r, err := vc.Resistance(units.CToK(85), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device-level: a few hundredths of a K/W.
+	if r <= 0 || r > 0.1 {
+		t.Errorf("vapor chamber R = %v K/W implausible", r)
+	}
+}
+
+func TestVaporChamberLimitsErrors(t *testing.T) {
+	vc := cpuVaporChamber()
+	T := units.CToK(85)
+	qMax, _, err := vc.MaxPower(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vc.Resistance(T, qMax*1.2); err == nil {
+		t.Error("above-limit power should error")
+	}
+	if _, err := vc.Resistance(T, -1); err == nil {
+		t.Error("negative power should error")
+	}
+	if _, err := vc.EffectiveConductivity(T, 100, 0); err == nil {
+		t.Error("zero film should error")
+	}
+	bad := *vc
+	bad.Fluid = nil
+	if _, _, err := bad.MaxPower(T); err == nil {
+		t.Error("invalid chamber should error")
+	}
+}
+
+func TestVaporChamberCapillaryGovernsLargePlates(t *testing.T) {
+	// A huge thin plate forces a long radial liquid-return path while a
+	// moderate source keeps the boiling limit high: the capillary limit
+	// takes over.
+	vc := cpuVaporChamber()
+	vc.Length, vc.Width = 0.5, 0.5
+	vc.SourceArea = 10e-3 * 10e-3
+	vc.Wick = SinteredCopperWick(0.15e-3)
+	_, mech, err := vc.MaxPower(units.CToK(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech != "capillary" {
+		t.Errorf("large-plate limit should be capillary, got %s", mech)
+	}
+}

@@ -1,0 +1,148 @@
+// Package units provides physical constants, unit conversions and small
+// quantity-formatting helpers shared by every aeropack simulation package.
+//
+// All aeropack packages work internally in strict SI units:
+// metres, kilograms, seconds, kelvin, watts, pascals.  This package is the
+// single place where non-SI engineering units used in the avionics world
+// (°C, W/cm², kg/h, g-levels, mil, K·mm²/W) are converted.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants (SI).
+const (
+	// StefanBoltzmann is the Stefan–Boltzmann constant in W/(m²·K⁴).
+	StefanBoltzmann = 5.670374419e-8
+	// Gravity is standard gravitational acceleration in m/s².
+	Gravity = 9.80665
+	// GasConstant is the universal gas constant in J/(mol·K).
+	GasConstant = 8.314462618
+	// Boltzmann is the Boltzmann constant in J/K (used by Arrhenius models).
+	Boltzmann = 1.380649e-23
+	// ElectronVolt in joules (activation energies are quoted in eV).
+	ElectronVolt = 1.602176634e-19
+	// BoltzmannEV is the Boltzmann constant in eV/K.
+	BoltzmannEV = Boltzmann / ElectronVolt
+	// AtmPressure is standard sea-level pressure in Pa.
+	AtmPressure = 101325.0
+	// ZeroCelsius is 0 °C in kelvin.
+	ZeroCelsius = 273.15
+)
+
+// CToK converts a temperature from degrees Celsius to kelvin.
+func CToK(c float64) float64 { return c + ZeroCelsius }
+
+// KToC converts a temperature from kelvin to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsius }
+
+// WPerCm2 converts a heat flux expressed in W/cm² to W/m².
+func WPerCm2(f float64) float64 { return f * 1e4 }
+
+// ToWPerCm2 converts a heat flux expressed in W/m² to W/cm².
+func ToWPerCm2(f float64) float64 { return f * 1e-4 }
+
+// KgPerHour converts a mass flow from kg/h to kg/s.
+func KgPerHour(m float64) float64 { return m / 3600 }
+
+// ToKgPerHour converts a mass flow from kg/s to kg/h.
+func ToKgPerHour(m float64) float64 { return m * 3600 }
+
+// GLevel converts an acceleration in g to m/s².
+func GLevel(g float64) float64 { return g * Gravity }
+
+// ToGLevel converts an acceleration in m/s² to g.
+func ToGLevel(a float64) float64 { return a / Gravity }
+
+// Mil converts thousandths of an inch to metres.
+func Mil(m float64) float64 { return m * 25.4e-6 }
+
+// Micron converts micrometres to metres.
+func Micron(um float64) float64 { return um * 1e-6 }
+
+// ToMicron converts metres to micrometres.
+func ToMicron(m float64) float64 { return m * 1e6 }
+
+// Millimetre converts millimetres to metres.
+func Millimetre(mm float64) float64 { return mm * 1e-3 }
+
+// KMm2PerW converts a specific thermal interface resistance from K·mm²/W
+// (the unit used throughout the NANOPACK results) to SI K·m²/W.
+func KMm2PerW(r float64) float64 { return r * 1e-6 }
+
+// ToKMm2PerW converts a specific thermal resistance from K·m²/W to K·mm²/W.
+func ToKMm2PerW(r float64) float64 { return r * 1e6 }
+
+// LPerMin converts a volumetric flow from litres per minute to m³/s.
+func LPerMin(q float64) float64 { return q / 60000 }
+
+// CFM converts a volumetric flow from cubic feet per minute to m³/s.
+func CFM(q float64) float64 { return q * 4.719474432e-4 }
+
+// ToCFM converts a volumetric flow from m³/s to cubic feet per minute.
+func ToCFM(q float64) float64 { return q / 4.719474432e-4 }
+
+// Hour converts hours to seconds.
+func Hour(h float64) float64 { return h * 3600 }
+
+// ToHour converts seconds to hours.
+func ToHour(s float64) float64 { return s / 3600 }
+
+// FIT converts failures-in-time (failures per 10⁹ device-hours) to
+// failures per hour.
+func FIT(f float64) float64 { return f * 1e-9 }
+
+// ToFIT converts a failure rate in failures per hour to FIT.
+func ToFIT(l float64) float64 { return l * 1e9 }
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b agree to within relative tolerance
+// rel, falling back to an absolute comparison near zero.
+func ApproxEqual(a, b, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-300 {
+		return diff == 0
+	}
+	if scale < 1 {
+		return diff <= rel
+	}
+	return diff <= rel*scale
+}
+
+// Engineering formats a value with an SI prefix and the given unit,
+// e.g. Engineering(2.5e-6, "m") == "2.50 µm".
+func Engineering(v float64, unit string) string {
+	if v == 0 {
+		return fmt.Sprintf("0 %s", unit)
+	}
+	prefixes := []struct {
+		exp  float64
+		name string
+	}{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	a := math.Abs(v)
+	for _, p := range prefixes {
+		if a >= p.exp {
+			return fmt.Sprintf("%.3g %s%s", v/p.exp, p.name, unit)
+		}
+	}
+	return fmt.Sprintf("%.3g %s", v, unit)
+}

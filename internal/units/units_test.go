@@ -1,0 +1,183 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureConversion(t *testing.T) {
+	if got := CToK(0); got != 273.15 {
+		t.Errorf("CToK(0) = %v, want 273.15", got)
+	}
+	if got := CToK(125); got != 398.15 {
+		t.Errorf("CToK(125) = %v, want 398.15", got)
+	}
+	if got := KToC(273.15); got != 0 {
+		t.Errorf("KToC(273.15) = %v, want 0", got)
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return ApproxEqual(KToC(CToK(c)), c, 1e-12) || c == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatFlux(t *testing.T) {
+	// The paper's hot-spot figure: 100 W/cm² = 1 MW/m².
+	if got := WPerCm2(100); got != 1e6 {
+		t.Errorf("WPerCm2(100) = %v, want 1e6", got)
+	}
+	if got := ToWPerCm2(1e6); got != 100 {
+		t.Errorf("ToWPerCm2(1e6) = %v, want 100", got)
+	}
+}
+
+func TestMassFlow(t *testing.T) {
+	// ARINC 600: 220 kg/h/kW.
+	got := KgPerHour(220)
+	want := 220.0 / 3600
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Errorf("KgPerHour(220) = %v, want %v", got, want)
+	}
+	if !ApproxEqual(ToKgPerHour(got), 220, 1e-12) {
+		t.Errorf("round trip failed")
+	}
+}
+
+func TestGLevel(t *testing.T) {
+	// COSEE acceleration test level: 9 g.
+	if got := GLevel(9); !ApproxEqual(got, 88.25985, 1e-6) {
+		t.Errorf("GLevel(9) = %v", got)
+	}
+	if got := ToGLevel(GLevel(9)); !ApproxEqual(got, 9, 1e-12) {
+		t.Errorf("g round trip = %v", got)
+	}
+}
+
+func TestLengthUnits(t *testing.T) {
+	if got := Mil(1); !ApproxEqual(got, 25.4e-6, 1e-12) {
+		t.Errorf("Mil(1) = %v", got)
+	}
+	if got := Micron(20); !ApproxEqual(got, 20e-6, 1e-12) {
+		t.Errorf("Micron(20) = %v", got)
+	}
+	if got := ToMicron(Micron(17.5)); !ApproxEqual(got, 17.5, 1e-12) {
+		t.Errorf("micron round trip = %v", got)
+	}
+	if got := Millimetre(3); !ApproxEqual(got, 0.003, 1e-12) {
+		t.Errorf("Millimetre(3) = %v", got)
+	}
+}
+
+func TestInterfaceResistance(t *testing.T) {
+	// NANOPACK target: 5 K·mm²/W = 5e-6 K·m²/W.
+	if got := KMm2PerW(5); !ApproxEqual(got, 5e-6, 1e-12) {
+		t.Errorf("KMm2PerW(5) = %v", got)
+	}
+	if got := ToKMm2PerW(KMm2PerW(5)); !ApproxEqual(got, 5, 1e-12) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestFlowUnits(t *testing.T) {
+	if got := LPerMin(60000); !ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("LPerMin(60000) = %v, want 1", got)
+	}
+	if got := ToCFM(CFM(25)); !ApproxEqual(got, 25, 1e-12) {
+		t.Errorf("CFM round trip = %v", got)
+	}
+}
+
+func TestTimeAndFIT(t *testing.T) {
+	if got := Hour(40000); got != 40000*3600 {
+		t.Errorf("Hour(40000) = %v", got)
+	}
+	if got := ToHour(Hour(40000)); got != 40000 {
+		t.Errorf("hour round trip = %v", got)
+	}
+	// 1000 FIT = 1e-6 failures/hour → MTBF 1e6 h.
+	if got := FIT(1000); !ApproxEqual(got, 1e-6, 1e-12) {
+		t.Errorf("FIT(1000) = %v", got)
+	}
+	if got := ToFIT(FIT(123.4)); !ApproxEqual(got, 123.4, 1e-12) {
+		t.Errorf("FIT round trip = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(10, 20, 0.5); got != 15 {
+		t.Errorf("Lerp(10,20,0.5) = %v", got)
+	}
+	if got := Lerp(10, 20, 0); got != 10 {
+		t.Errorf("Lerp t=0 = %v", got)
+	}
+	if got := Lerp(10, 20, 1); got != 20 {
+		t.Errorf("Lerp t=1 = %v", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-10, 1e-9) {
+		t.Error("should be approx equal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-3) {
+		t.Error("should not be approx equal")
+	}
+	if !ApproxEqual(0, 0, 1e-9) {
+		t.Error("zero should equal zero")
+	}
+}
+
+func TestEngineering(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{0, "W", "0 W"},
+		{2.5e-6, "m", "2.5 µm"},
+		{1500, "W", "1.5 kW"},
+		{0.02, "K/W", "20 mK/W"},
+	}
+	for _, c := range cases {
+		if got := Engineering(c.v, c.unit); got != c.want {
+			t.Errorf("Engineering(%v,%q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
