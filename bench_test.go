@@ -151,11 +151,11 @@ func e2Board() *core.BoardDesign {
 		CopperLayers: 12, CopperOz: 2, CopperCover: 0.7,
 		EdgeCooling: core.ForcedAir, ChannelH: 55, ChannelAirC: 46,
 		Components: []*compact.Component{
-			{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: 8, X: 0.08, Y: 0.115},
-			{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 3, X: 0.04, Y: 0.06},
-			{RefDes: "U3", Pkg: compact.MustGet("QFP208"), Power: 2.5, X: 0.12, Y: 0.17},
-			{RefDes: "Q1", Pkg: compact.MustGet("TO263"), Power: 1.5, X: 0.04, Y: 0.18},
-			{RefDes: "U4", Pkg: compact.MustGet("SOIC8"), Power: 0.4, X: 0.13, Y: 0.05},
+			{RefDes: "U1", Pkg: compact.FCBGACPU, Power: 8, X: 0.08, Y: 0.115},
+			{RefDes: "U2", Pkg: compact.BGA256, Power: 3, X: 0.04, Y: 0.06},
+			{RefDes: "U3", Pkg: compact.QFP208, Power: 2.5, X: 0.12, Y: 0.17},
+			{RefDes: "Q1", Pkg: compact.TO263, Power: 1.5, X: 0.04, Y: 0.18},
+			{RefDes: "U4", Pkg: compact.SOIC8, Power: 0.4, X: 0.13, Y: 0.05},
 		},
 		MassLoadKgM2: 3,
 	}
@@ -290,7 +290,7 @@ func BenchmarkE4_HotSpotAirflow(b *testing.B) {
 func BenchmarkE5_Fig10(b *testing.B) {
 	powers := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110}
 	for i := 0; i < b.N; i++ {
-		al := materials.MustGet("Al6061")
+		al := materials.Al6061
 		s, err := cosee.RunFig10(al)
 		if err != nil {
 			b.Fatal(err)
@@ -345,7 +345,7 @@ func BenchmarkE5_Fig10(b *testing.B) {
 
 func BenchmarkE6_CompositeSeat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cc, err := cosee.RunFig10(materials.MustGet("CarbonComposite"))
+		cc, err := cosee.RunFig10(materials.CarbonComposite)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -588,7 +588,7 @@ func BenchmarkE12_TechnologyMap(b *testing.B) {
 
 func BenchmarkAblation_LHPConductance(b *testing.B) {
 	loop := &twophase.LoopHeatPipe{
-		Fluid: fluids.MustGet("ammonia"), PoreRadius: 1.5e-6, Permeability: 4e-14,
+		Fluid: fluids.Ammonia, PoreRadius: 1.5e-6, Permeability: 4e-14,
 		WickArea: 8e-4, WickLength: 5e-3, LineLength: 1.5, LineRadius: 2e-3,
 		CondArea: 0.012, CondH: 2500, EvapArea: 2.5e-3, EvapH: 15000, StartupPower: 3,
 	}
@@ -675,7 +675,7 @@ func BenchmarkAblation_PCBCopper(b *testing.B) {
 
 func solverModel() *thermal.Model {
 	g, _ := mesh.Uniform(24, 24, 4, 0.16, 0.16, 0.006)
-	m, _ := thermal.NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, _ := thermal.NewModel(g, []materials.Material{materials.Al6061})
 	m.SetFaceBC(mesh.ZMin, thermal.BC{Kind: thermal.Convection, T: 300, H: 50})
 	m.AddVolumeSource(0.06, 0.1, 0.06, 0.1, 0, 0.006, 30)
 	return m
@@ -759,7 +759,7 @@ func TestBenchSmoke(t *testing.T) {
 	if _, err := e11Board().Predict(nil, units.CToK(80), reliability.AirborneInhabitedCargo); err != nil {
 		t.Error(err)
 	}
-	g := tim.MustGet("grease-standard")
+	g := tim.GreaseStandard
 	if g.K <= 0 {
 		t.Error("tim library unavailable")
 	}
@@ -772,7 +772,7 @@ func TestBenchSmoke(t *testing.T) {
 
 func BenchmarkExt_VaporChamber(b *testing.B) {
 	vc := &twophase.VaporChamber{
-		Fluid:         fluids.MustGet("water"),
+		Fluid:         fluids.Water,
 		Wick:          twophase.SinteredCopperWick(0.4e-3),
 		Length:        0.06,
 		Width:         0.06,
@@ -863,8 +863,8 @@ func BenchmarkExt_EquipmentStudy(b *testing.B) {
 				EdgeCooling: core.ForcedAir, ChannelH: 55,
 				MassLoadKgM2: 3,
 				Components: []*compact.Component{
-					{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: cpuW, X: 0.08, Y: 0.115},
-					{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 2, X: 0.04, Y: 0.06},
+					{RefDes: "U1", Pkg: compact.FCBGACPU, Power: cpuW, X: 0.08, Y: 0.115},
+					{RefDes: "U2", Pkg: compact.BGA256, Power: 2, X: 0.04, Y: 0.06},
 				},
 			}
 		}
@@ -897,7 +897,7 @@ func BenchmarkExt_EquipmentStudy(b *testing.B) {
 }
 
 func BenchmarkExt_PlateFEMvsClosedForm(b *testing.B) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	for i := 0; i < b.N; i++ {
 		ref := &mech.Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: fr4, Edges: mech.SSSS}
 		want, err := ref.FundamentalHz()
@@ -1046,8 +1046,8 @@ func BenchmarkExt_ConjugateChannel(b *testing.B) {
 			CopperLayers: 8, CopperOz: 1, CopperCover: 0.5,
 			EdgeCooling: core.ForcedAir, ChannelH: 50, ChannelAirC: 40,
 			Components: []*compact.Component{
-				{RefDes: "UP", Pkg: compact.MustGet("BGA256"), Power: 5, X: 0.04, Y: 0.05},
-				{RefDes: "DOWN", Pkg: compact.MustGet("BGA256"), Power: 5, X: 0.16, Y: 0.05},
+				{RefDes: "UP", Pkg: compact.BGA256, Power: 5, X: 0.04, Y: 0.05},
+				{RefDes: "DOWN", Pkg: compact.BGA256, Power: 5, X: 0.16, Y: 0.05},
 			},
 		}
 		res, err := core.ConjugateStudy(board, 1.5e-3, 8)
@@ -1146,7 +1146,7 @@ func BenchmarkExt_SealedBox(b *testing.B) {
 
 func BenchmarkExt_HPPerformanceMap(b *testing.B) {
 	hp := &twophase.HeatPipe{
-		Fluid: fluids.MustGet("water"),
+		Fluid: fluids.Water,
 		Wick:  twophase.SinteredCopperWick(0.75e-3),
 		LEvap: 0.1, LAdia: 0.1, LCond: 0.1,
 		RadiusVapor:   2e-3,

@@ -22,6 +22,7 @@ import (
 	"aeropack/internal/compact"
 	"aeropack/internal/core"
 	"aeropack/internal/report"
+	"aeropack/internal/units"
 )
 
 // specFile is the JSON schema of a design study.
@@ -220,8 +221,8 @@ func printReport(rep *core.Report) {
 	if len(rep.Level3.Margins) > 0 {
 		t2 := report.NewTable("Junction margins (worst first)", "refdes", "Tj °C", "limit °C", "margin K")
 		for _, m := range rep.Level3.Margins {
-			t2.AddRow(m.RefDes, fmt.Sprintf("%.1f", m.Tj-273.15),
-				fmt.Sprintf("%.1f", m.MaxTj-273.15), fmt.Sprintf("%.1f", m.Margin))
+			t2.AddRow(m.RefDes, fmt.Sprintf("%.1f", units.KToC(m.Tj)),
+				fmt.Sprintf("%.1f", units.KToC(m.MaxTj)), fmt.Sprintf("%.1f", m.Margin))
 		}
 		fmt.Print(t2.String())
 	}

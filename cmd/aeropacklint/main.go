@@ -1,0 +1,102 @@
+// Command aeropacklint runs aeropack's in-tree static-analysis suite
+// (internal/lint) over the module and reports every violation of the
+// project's physical-modelling invariants:
+//
+//	unitsafety   inline unit-conversion literals outside internal/units
+//	floatcmp     exact ==/!= between float64 expressions
+//	panicpolicy  panics in library packages
+//	nanguard     solver entry points without NaN/Inf input handling
+//
+// Usage:
+//
+//	go run ./cmd/aeropacklint ./...
+//
+// Arguments are package directories; a trailing /... lints the whole
+// subtree.  With no arguments the current directory's subtree is linted.
+// The exit status is non-zero when any finding is reported, so the
+// command slots directly into verify.sh / CI.
+//
+// A finding is suppressed by placing
+//
+//	//lint:allow <rule> [reason]
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aeropack/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the registered rules and exit")
+	quiet := flag.Bool("q", false, "suppress type-checker warnings")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aeropacklint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		if dir, ok := strings.CutSuffix(arg, "/..."); ok {
+			if dir == "." || dir == "" {
+				dir = "."
+			}
+			sub, err := loader.LoadAll(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aeropacklint:", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, sub...)
+			continue
+		}
+		p, err := loader.LoadDir(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aeropacklint:", err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	findings := lint.Run(pkgs)
+	for _, f := range findings {
+		fmt.Println(rel(loader.Root, f))
+	}
+	if !*quiet {
+		for _, w := range loader.TypeErrors {
+			fmt.Fprintln(os.Stderr, "aeropacklint: warning: typecheck:", w)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "aeropacklint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// rel shortens the finding's file path to be module-root-relative for
+// stable, readable output.
+func rel(root string, f lint.Finding) string {
+	s := f.String()
+	if rest, ok := strings.CutPrefix(s, root+string(os.PathSeparator)); ok {
+		return rest
+	}
+	return s
+}

@@ -66,8 +66,8 @@ func tuneCopper() {
 			EdgeCooling: core.ConductionCooled, RailTempC: 35,
 			MassLoadKgM2: 3,
 			Components: []*compact.Component{
-				{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: 7, X: 0.08, Y: 0.115},
-				{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 2.5, X: 0.04, Y: 0.06},
+				{RefDes: "U1", Pkg: compact.FCBGACPU, Power: 7, X: 0.08, Y: 0.115},
+				{RefDes: "U2", Pkg: compact.BGA256, Power: 2.5, X: 0.04, Y: 0.06},
 			},
 		}
 	}
@@ -90,7 +90,7 @@ func tuneCopper() {
 		}
 		return -1
 	}, lo, hi, 0.01)
-	if err != nil && hi != lo {
+	if err != nil && hi != lo { //lint:allow floatcmp degenerate-interval sentinel
 		log.Fatal(err)
 	}
 	chosen := math.Min(0.9, boundary+0.05) // 5% margin above the cliff

@@ -28,7 +28,7 @@ func main() {
 	dieArea := dieSide * dieSide
 
 	vc := &twophase.VaporChamber{
-		Fluid:         fluids.MustGet("water"),
+		Fluid:         fluids.Water,
 		Wick:          twophase.SinteredCopperWick(0.4e-3),
 		Length:        0.06,
 		Width:         0.06,

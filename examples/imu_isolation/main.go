@@ -54,7 +54,7 @@ func main() {
 		}
 		marker := ""
 		switch {
-		case f == mountHz:
+		case f == mountHz: //lint:allow floatcmp f iterates exact table values
 			marker = "   ← resonance (amplifies)"
 		case tr < 0.1:
 			marker = "   ← >10× attenuation"

@@ -21,8 +21,8 @@ import (
 
 func main() {
 	// 1. A lumped thermal network: junction → case → TIM → cold plate.
-	pkg := compact.MustGet("FCBGA-CPU")
-	grease := tim.MustGet("grease-standard")
+	pkg := compact.FCBGACPU
+	grease := tim.GreaseStandard
 	lidArea := pkg.Length * pkg.Width
 
 	n := thermal.NewNetwork()
@@ -47,7 +47,7 @@ func main() {
 
 	// 2. Could a copper/water heat pipe carry this power to a remote sink?
 	hp := &twophase.HeatPipe{
-		Fluid: fluids.MustGet("water"),
+		Fluid: fluids.Water,
 		Wick:  twophase.SinteredCopperWick(0.75e-3),
 		LEvap: 0.05, LAdia: 0.15, LCond: 0.08,
 		RadiusVapor:   2e-3,

@@ -25,11 +25,11 @@ func main() {
 		EdgeCooling: core.ForcedAir, ChannelH: 55, ChannelAirC: 46,
 		MassLoadKgM2: 3,
 		Components: []*compact.Component{
-			{RefDes: "GPU", Pkg: compact.MustGet("FCBGA-CPU"), Power: 9, X: 0.08, Y: 0.115},
-			{RefDes: "RAM0", Pkg: compact.MustGet("BGA256"), Power: 2, X: 0.04, Y: 0.06},
-			{RefDes: "RAM1", Pkg: compact.MustGet("BGA256"), Power: 2, X: 0.04, Y: 0.17},
-			{RefDes: "PHY", Pkg: compact.MustGet("QFP208"), Power: 2.5, X: 0.12, Y: 0.17},
-			{RefDes: "REG", Pkg: compact.MustGet("TO263"), Power: 1.5, X: 0.13, Y: 0.05},
+			{RefDes: "GPU", Pkg: compact.FCBGACPU, Power: 9, X: 0.08, Y: 0.115},
+			{RefDes: "RAM0", Pkg: compact.BGA256, Power: 2, X: 0.04, Y: 0.06},
+			{RefDes: "RAM1", Pkg: compact.BGA256, Power: 2, X: 0.04, Y: 0.17},
+			{RefDes: "PHY", Pkg: compact.QFP208, Power: 2.5, X: 0.12, Y: 0.17},
+			{RefDes: "REG", Pkg: compact.TO263, Power: 1.5, X: 0.13, Y: 0.05},
 		},
 	}
 	const nModules = 8

@@ -68,7 +68,7 @@ func main() {
 
 	// 6. The composite-seat variant: the frame is a worse fin.
 	composite := cosee.Config{UseLHP: true, AmbientC: cabin,
-		Structure: materials.MustGet("CarbonComposite")}
+		Structure: materials.CarbonComposite}
 	cc, err := composite.CapabilityAt(60)
 	if err != nil {
 		log.Fatal(err)

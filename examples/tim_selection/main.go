@@ -25,15 +25,14 @@ func main() {
 		pressure = 2e5
 		rSinkAbs = 0.35 // heatsink-to-air, K/W
 	)
-	pkg := compact.MustGet("FCBGA-CPU")
+	pkg := compact.FCBGACPU
 	lidArea := pkg.Length * pkg.Width
 
 	tester := tim.NewD5470(7)
 	t := report.NewTable(
 		fmt.Sprintf("TIM selection for a %.0f W processor (sink at %.0f °C)", powerW, sinkC),
 		"TIM", "R_tim K/W", "Tj °C", "D5470 reading", "NANOPACK targets")
-	for _, name := range tim.Names() {
-		m := tim.MustGet(name)
+	for _, m := range tim.All() {
 		rAbs, err := m.ResistanceAbs(pressure, lidArea)
 		if err != nil {
 			log.Fatal(err)
@@ -60,7 +59,7 @@ func main() {
 		}
 		kOK, rOK, bltOK := m.MeetsNanopackTarget(pressure)
 		targets := fmt.Sprintf("k:%v R:%v BLT:%v", mark(kOK), mark(rOK), mark(bltOK))
-		t.AddRow(name,
+		t.AddRow(m.Name,
 			fmt.Sprintf("%.4f", rAbs),
 			fmt.Sprintf("%.1f", units.KToC(res.T["junction"])),
 			fmt.Sprintf("%.1f K·mm²/W", units.ToKMm2PerW(meas.RMeasured)),

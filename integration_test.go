@@ -23,7 +23,7 @@ func TestMaximumPrinciple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := thermal.NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, err := thermal.NewModel(g, []materials.Material{materials.Al6061})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestNetworkVsFiniteVolume(t *testing.T) {
 		h, Tamb   = 50.0, 300.0
 	)
 	g, _ := mesh.Uniform(10, 10, 4, side, side, thk)
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	m, _ := thermal.NewModel(g, []materials.Material{al})
 	m.SetFaceBC(mesh.ZMin, thermal.BC{Kind: thermal.Convection, T: Tamb, H: h})
 	m.AddVolumeSource(0, side, 0, side, 0, thk, power)
@@ -84,7 +84,7 @@ func TestNetworkVsFiniteVolume(t *testing.T) {
 func TestCompactVsDetailedJunction(t *testing.T) {
 	// Package: 17×17 mm BGA body, 1.2 mm thick, die region dissipating
 	// 3 W, bottom on a 70 °C board (modelled as fixed T).
-	pkg := compact.MustGet("BGA256")
+	pkg := compact.BGA256
 	const power = 3.0
 	boardT := units.CToK(70)
 
@@ -94,8 +94,8 @@ func TestCompactVsDetailedJunction(t *testing.T) {
 	// Detailed: mold compound body with a silicon die inside, bottom face
 	// at board temperature through a solder-ball layer.
 	g, _ := mesh.Uniform(17, 17, 6, 17e-3, 17e-3, 1.8e-3)
-	mold := materials.MustGet("MoldCompound")
-	si := materials.MustGet("Silicon")
+	mold := materials.MoldCompound
+	si := materials.Silicon
 	balls := materials.Material{Name: "ballfield", K: 2.2, Rho: 3000, Cp: 600}
 	m, _ := thermal.NewModel(g, []materials.Material{mold, si, balls})
 	// Ball field: bottom 0.4 mm.
@@ -169,8 +169,8 @@ func TestLevel1EnvelopesLevel2(t *testing.T) {
 		EdgeCooling: core.ConductionCooled, RailTempC: 30,
 		MassLoadKgM2: 3,
 		Components: []*compact.Component{
-			{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: 6, X: 0.08, Y: 0.115},
-			{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 2, X: 0.04, Y: 0.06},
+			{RefDes: "U1", Pkg: compact.FCBGACPU, Power: 6, X: 0.08, Y: 0.115},
+			{RefDes: "U2", Pkg: compact.BGA256, Power: 2, X: 0.04, Y: 0.06},
 		},
 	}
 	rep, err := core.Study(board, core.DefaultScreen(core.Envelope{L: 0.5, W: 0.3, H: 0.26}))

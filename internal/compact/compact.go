@@ -40,19 +40,38 @@ type Package struct {
 	COTS bool
 }
 
-var library = map[string]Package{
-	"QFP100":  {Name: "QFP100", ThetaJCTop: 8, ThetaJB: 22, ThetaJA: 42, ThetaJL: 30, Length: 14e-3, Width: 14e-3, MaxTj: 398.15, COTS: true},
-	"QFP208":  {Name: "QFP208", ThetaJCTop: 6, ThetaJB: 16, ThetaJA: 33, ThetaJL: 24, Length: 28e-3, Width: 28e-3, MaxTj: 398.15, COTS: true},
-	"BGA256":  {Name: "BGA256", ThetaJCTop: 4.5, ThetaJB: 11, ThetaJA: 28, Length: 17e-3, Width: 17e-3, MaxTj: 398.15, COTS: true},
-	"BGA676":  {Name: "BGA676", ThetaJCTop: 3.0, ThetaJB: 7.5, ThetaJA: 19, Length: 27e-3, Width: 27e-3, MaxTj: 398.15, COTS: true},
-	"SOIC8":   {Name: "SOIC8", ThetaJCTop: 28, ThetaJB: 46, ThetaJA: 120, ThetaJL: 60, Length: 5e-3, Width: 4e-3, MaxTj: 398.15, COTS: true},
-	"TO220":   {Name: "TO220", ThetaJCTop: 1.8, ThetaJB: 35, ThetaJA: 62, Length: 10e-3, Width: 9e-3, MaxTj: 423.15},
-	"TO263":   {Name: "TO263", ThetaJCTop: 1.5, ThetaJB: 18, ThetaJA: 55, Length: 10e-3, Width: 9e-3, MaxTj: 423.15},
-	"DPAK":    {Name: "DPAK", ThetaJCTop: 3.0, ThetaJB: 20, ThetaJA: 70, Length: 6.5e-3, Width: 6e-3, MaxTj: 423.15},
-	"CQFP172": {Name: "CQFP172", ThetaJCTop: 4.0, ThetaJB: 12, ThetaJA: 30, ThetaJL: 18, Length: 25e-3, Width: 25e-3, MaxTj: 448.15},
-	// Bare-die / flip-chip microprocessor class: the 10→30/50 W parts in
-	// the paper's introduction.
-	"FCBGA-CPU": {Name: "FCBGA-CPU", ThetaJCTop: 0.35, ThetaJB: 6, ThetaJA: 14, Length: 35e-3, Width: 35e-3, MaxTj: 398.15},
+// Canonical built-in package models.  The instances are exported so
+// known packages are referenced by identifier (compile-checked) instead
+// of through a panicking MustGet; Get remains for dynamic string-keyed
+// lookup.
+var (
+	QFP100 = Package{Name: "QFP100", ThetaJCTop: 8, ThetaJB: 22, ThetaJA: 42, ThetaJL: 30, Length: 14e-3, Width: 14e-3, MaxTj: 398.15, COTS: true}
+	QFP208 = Package{Name: "QFP208", ThetaJCTop: 6, ThetaJB: 16, ThetaJA: 33, ThetaJL: 24, Length: 28e-3, Width: 28e-3, MaxTj: 398.15, COTS: true}
+	BGA256 = Package{Name: "BGA256", ThetaJCTop: 4.5, ThetaJB: 11, ThetaJA: 28, Length: 17e-3, Width: 17e-3, MaxTj: 398.15, COTS: true}
+	BGA676 = Package{Name: "BGA676", ThetaJCTop: 3.0, ThetaJB: 7.5, ThetaJA: 19, Length: 27e-3, Width: 27e-3, MaxTj: 398.15, COTS: true}
+	SOIC8  = Package{Name: "SOIC8", ThetaJCTop: 28, ThetaJB: 46, ThetaJA: 120, ThetaJL: 60, Length: 5e-3, Width: 4e-3, MaxTj: 398.15, COTS: true}
+	TO220  = Package{Name: "TO220", ThetaJCTop: 1.8, ThetaJB: 35, ThetaJA: 62, Length: 10e-3, Width: 9e-3, MaxTj: 423.15}
+	TO263  = Package{Name: "TO263", ThetaJCTop: 1.5, ThetaJB: 18, ThetaJA: 55, Length: 10e-3, Width: 9e-3, MaxTj: 423.15}
+	DPAK   = Package{Name: "DPAK", ThetaJCTop: 3.0, ThetaJB: 20, ThetaJA: 70, Length: 6.5e-3, Width: 6e-3, MaxTj: 423.15}
+	// CQFP172 is the hermetic ceramic option for the harshest bays.
+	CQFP172 = Package{Name: "CQFP172", ThetaJCTop: 4.0, ThetaJB: 12, ThetaJA: 30, ThetaJL: 18, Length: 25e-3, Width: 25e-3, MaxTj: 448.15}
+	// FCBGACPU is the bare-die / flip-chip microprocessor class: the
+	// 10→30/50 W parts in the paper's introduction.
+	FCBGACPU = Package{Name: "FCBGA-CPU", ThetaJCTop: 0.35, ThetaJB: 6, ThetaJA: 14, Length: 35e-3, Width: 35e-3, MaxTj: 398.15}
+)
+
+// library is the name-keyed index over the canonical instances above.
+var library = byName(
+	QFP100, QFP208, BGA256, BGA676, SOIC8, TO220, TO263, DPAK, CQFP172,
+	FCBGACPU,
+)
+
+func byName(ps ...Package) map[string]Package {
+	out := make(map[string]Package, len(ps))
+	for _, p := range ps {
+		out[p.Name] = p
+	}
+	return out
 }
 
 // Get returns the named package model.
@@ -64,15 +83,6 @@ func Get(name string) (Package, error) {
 	return p, nil
 }
 
-// MustGet is Get but panics on unknown names.
-func MustGet(name string) Package {
-	p, err := Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // Names lists the built-in package names sorted.
 func Names() []string {
 	out := make([]string, 0, len(library))
@@ -80,6 +90,15 @@ func Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// All returns the library package models sorted by name.
+func All() []Package {
+	out := make([]Package, 0, len(library))
+	for _, n := range Names() {
+		out = append(out, library[n])
+	}
 	return out
 }
 

@@ -8,8 +8,8 @@ import (
 )
 
 func TestLibraryIntegrity(t *testing.T) {
-	for _, name := range Names() {
-		p := MustGet(name)
+	for _, p := range All() {
+		name := p.Name
 		if p.Name != name {
 			t.Errorf("%s: name mismatch", name)
 		}
@@ -34,12 +34,9 @@ func TestGetUnknown(t *testing.T) {
 	if _, err := Get("DIP999"); err == nil {
 		t.Error("unknown package should error")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustGet should panic")
-		}
-	}()
-	MustGet("DIP999")
+	if _, err := Get("QFP100"); err != nil {
+		t.Errorf("known package should resolve: %v", err)
+	}
 }
 
 func TestRegister(t *testing.T) {
@@ -58,7 +55,7 @@ func TestRegister(t *testing.T) {
 }
 
 func TestFootprint(t *testing.T) {
-	c := &Component{RefDes: "U1", Pkg: MustGet("QFP100"), Power: 2, X: 0.05, Y: 0.03}
+	c := &Component{RefDes: "U1", Pkg: QFP100, Power: 2, X: 0.05, Y: 0.03}
 	x0, x1, y0, y1 := c.Footprint()
 	if !units.ApproxEqual(x1-x0, 14e-3, 1e-9) || !units.ApproxEqual(y1-y0, 14e-3, 1e-9) {
 		t.Errorf("footprint dims wrong: %v %v", x1-x0, y1-y0)
@@ -74,7 +71,7 @@ func TestAttachAndSolve(t *testing.T) {
 	n := thermal.NewNetwork()
 	n.FixT("board", units.CToK(70))
 	n.FixT("air", units.CToK(50))
-	c := &Component{RefDes: "U1", Pkg: MustGet("BGA256"), Power: 3}
+	c := &Component{RefDes: "U1", Pkg: BGA256, Power: 3}
 	if err := c.Attach(n, "board", "air", 20); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +97,7 @@ func TestAttachConductionOnly(t *testing.T) {
 	// hTop ≤ 0: all heat via the board; junction = board + P·(θjb ∥ θjl).
 	n := thermal.NewNetwork()
 	n.FixT("board", 350)
-	c := &Component{RefDes: "U2", Pkg: MustGet("QFP100"), Power: 2}
+	c := &Component{RefDes: "U2", Pkg: QFP100, Power: 2}
 	if err := c.Attach(n, "board", "air-unused", 0); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +118,7 @@ func TestAttachConductionOnly(t *testing.T) {
 func TestAttachErrors(t *testing.T) {
 	n := thermal.NewNetwork()
 	n.FixT("board", 350)
-	c := &Component{RefDes: "U3", Pkg: MustGet("SOIC8"), Power: -1}
+	c := &Component{RefDes: "U3", Pkg: SOIC8, Power: -1}
 	if err := c.Attach(n, "board", "air", 10); err == nil {
 		t.Error("negative power should error")
 	}
@@ -135,7 +132,7 @@ func TestJunctionRiseMatchesNetwork(t *testing.T) {
 	// With board and air at the same temperature, the closed-form
 	// JunctionRise must match the network solution.
 	const Tref = 330.0
-	c := &Component{RefDes: "U5", Pkg: MustGet("QFP208"), Power: 4}
+	c := &Component{RefDes: "U5", Pkg: QFP208, Power: 4}
 	n := thermal.NewNetwork()
 	n.FixT("board", Tref)
 	n.FixT("air", Tref)
@@ -153,7 +150,7 @@ func TestJunctionRiseMatchesNetwork(t *testing.T) {
 }
 
 func TestStillAirJunction(t *testing.T) {
-	c := &Component{RefDes: "U6", Pkg: MustGet("SOIC8"), Power: 0.5}
+	c := &Component{RefDes: "U6", Pkg: SOIC8, Power: 0.5}
 	tj := c.StillAirJunction(units.CToK(85))
 	want := units.CToK(85) + 0.5*120
 	if !units.ApproxEqual(tj, want, 1e-12) {
@@ -165,8 +162,8 @@ func TestCheckMargins(t *testing.T) {
 	n := thermal.NewNetwork()
 	n.FixT("board", units.CToK(95))
 	n.FixT("air", units.CToK(70))
-	hot := &Component{RefDes: "HOT", Pkg: MustGet("SOIC8"), Power: 1.2}
-	cool := &Component{RefDes: "COOL", Pkg: MustGet("TO263"), Power: 0.5}
+	hot := &Component{RefDes: "HOT", Pkg: SOIC8, Power: 1.2}
+	cool := &Component{RefDes: "COOL", Pkg: TO263, Power: 0.5}
 	for _, c := range []*Component{hot, cool} {
 		if err := c.Attach(n, "board", "air", 10); err != nil {
 			t.Fatal(err)
@@ -198,8 +195,8 @@ func TestCOTSFlag(t *testing.T) {
 	// The paper's COTS concern: plastic parts exist in the library and are
 	// marked as such.
 	cots := 0
-	for _, name := range Names() {
-		if MustGet(name).COTS {
+	for _, p := range All() {
+		if p.COTS {
 			cots++
 		}
 	}
@@ -210,19 +207,19 @@ func TestCOTSFlag(t *testing.T) {
 
 func TestComponentMass(t *testing.T) {
 	// Explicit mass wins.
-	c := &Component{RefDes: "T1", Pkg: MustGet("TO220"), MassKg: 0.25}
+	c := &Component{RefDes: "T1", Pkg: TO220, MassKg: 0.25}
 	if c.Mass() != 0.25 {
 		t.Errorf("explicit mass = %v", c.Mass())
 	}
 	// Default derives from the footprint: a QFP100 body (14×14 mm) at
 	// moulded density ≈ 1.2 g.
-	q := &Component{RefDes: "U1", Pkg: MustGet("QFP100")}
+	q := &Component{RefDes: "U1", Pkg: QFP100}
 	m := q.Mass()
 	if m < 0.5e-3 || m > 3e-3 {
 		t.Errorf("derived mass = %v kg, want ≈1 g", m)
 	}
 	// Bigger packages weigh more.
-	b := &Component{RefDes: "U2", Pkg: MustGet("BGA676")}
+	b := &Component{RefDes: "U2", Pkg: BGA676}
 	if b.Mass() <= m {
 		t.Error("larger package should weigh more")
 	}

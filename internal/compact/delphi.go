@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aeropack/internal/thermal"
+	"aeropack/internal/units"
 )
 
 // DelphiModel is a DELPHI-style multi-node compact thermal model: a star
@@ -143,8 +144,8 @@ type Environment struct {
 // JunctionDelphi solves the multi-node model in one environment.
 func (d *DelphiModel) JunctionDelphi(env Environment, power float64) (float64, error) {
 	n := thermal.NewNetwork()
-	n.FixT("board", env.BoardC+273.15)
-	n.FixT("air", env.AirC+273.15)
+	n.FixT("board", units.CToK(env.BoardC))
+	n.FixT("air", units.CToK(env.AirC))
 	if err := d.Attach(n, "U", "board", "air", power, env.HTop, env.HBottom); err != nil {
 		return 0, err
 	}
@@ -192,8 +193,8 @@ func BCIStudy(pkgName string, power float64, envs []Environment) (*BCIResult, er
 		}
 		// Two-resistor in the same environment.
 		n := thermal.NewNetwork()
-		n.FixT("board", env.BoardC+273.15)
-		n.FixT("air", env.AirC+273.15)
+		n.FixT("board", units.CToK(env.BoardC))
+		n.FixT("air", units.CToK(env.AirC))
 		c := &Component{RefDes: "U", Pkg: p, Power: power}
 		if err := c.Attach(n, "board", "air", env.HTop); err != nil {
 			return nil, err

@@ -30,6 +30,8 @@ func rayleigh(L, Ts, Tamb float64) (ra float64, air materials.AirProps) {
 // NaturalVerticalPlate returns the average natural-convection coefficient
 // for a vertical plate of height L using the Churchill–Chu correlation
 // (valid over the full laminar/turbulent Ra range).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func NaturalVerticalPlate(L, Ts, Tamb float64) float64 {
 	if L <= 0 {
 		return 0
@@ -46,6 +48,8 @@ func NaturalVerticalPlate(L, Ts, Tamb float64) float64 {
 
 // NaturalHorizontalPlateUp returns the coefficient for a hot surface facing
 // up (or cold facing down); L is area/perimeter.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func NaturalHorizontalPlateUp(L, Ts, Tamb float64) float64 {
 	if L <= 0 {
 		return 0
@@ -66,6 +70,8 @@ func NaturalHorizontalPlateUp(L, Ts, Tamb float64) float64 {
 
 // NaturalHorizontalPlateDown returns the coefficient for a hot surface
 // facing down (stably stratified, weak convection).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func NaturalHorizontalPlateDown(L, Ts, Tamb float64) float64 {
 	if L <= 0 {
 		return 0
@@ -81,6 +87,8 @@ func NaturalHorizontalPlateDown(L, Ts, Tamb float64) float64 {
 // ForcedFlatPlate returns the average coefficient for flow at velocity V
 // over a plate of length L with mixed laminar/turbulent treatment
 // (transition at Re = 5×10⁵).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func ForcedFlatPlate(L, V, Ts, Tamb float64) float64 {
 	if L <= 0 || V <= 0 {
 		return 0
@@ -101,6 +109,8 @@ func ForcedFlatPlate(L, V, Ts, Tamb float64) float64 {
 }
 
 // HydraulicDiameter returns 4A/P for a rectangular duct a×b.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func HydraulicDiameter(a, b float64) float64 {
 	if a <= 0 || b <= 0 {
 		return 0
@@ -165,6 +175,8 @@ func NewFanCurve(q, dp []float64) (*FanCurve, error) {
 
 // PressureAt interpolates the fan pressure at flow q, clamping outside the
 // sampled range (0 beyond free delivery).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (f *FanCurve) PressureAt(q float64) float64 {
 	if q <= f.Q[0] {
 		return f.DP[0]
@@ -184,6 +196,8 @@ func (f *FanCurve) PressureAt(q float64) float64 {
 
 // OperatingPoint intersects the fan curve with a quadratic system
 // impedance dp = kSys·q² and returns (flow, pressure).  kSys in Pa/(m³/s)².
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (f *FanCurve) OperatingPoint(kSys float64) (float64, float64, error) {
 	if kSys < 0 {
 		return 0, 0, fmt.Errorf("convection: system coefficient must be ≥0")
@@ -212,12 +226,16 @@ func (f *FanCurve) OperatingPoint(kSys float64) (float64, float64, error) {
 
 // ARINCMassFlow returns the ARINC 600 standard cooling airflow allocation
 // for an equipment dissipating power watts: 220 kg/h per kW, in kg/s.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func ARINCMassFlow(power float64) float64 {
 	return units.KgPerHour(220 * power / 1000)
 }
 
 // AirTempRise returns the bulk air temperature rise ΔT = P/(ṁ·cp) for
 // power P (W) absorbed by mass flow mdot (kg/s) entering at Tin (K).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func AirTempRise(power, mdot, Tin float64) float64 {
 	if mdot <= 0 {
 		return math.Inf(1)
@@ -228,6 +246,8 @@ func AirTempRise(power, mdot, Tin float64) float64 {
 
 // RequiredH returns the convection coefficient needed to remove heat flux
 // q″ (W/m²) at a film temperature difference dT (K).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func RequiredH(flux, dT float64) float64 {
 	if dT <= 0 {
 		return math.Inf(1)
@@ -240,6 +260,8 @@ func RequiredH(flux, dT float64) float64 {
 // handle with surface-to-air difference dT — the quantity behind the
 // paper's statement that ARINC-class airflow "cannot cope with the hot
 // spot problems" at 100 W/cm².
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func MaxAirCoolableFlux(L, V, Ts, Tamb float64) float64 {
 	h := ForcedFlatPlate(L, V, Ts, Tamb)
 	return h * (Ts - Tamb)
@@ -247,6 +269,8 @@ func MaxAirCoolableFlux(L, V, Ts, Tamb float64) float64 {
 
 // ChannelVelocity converts a mass flow (kg/s) through a card channel of
 // cross-section area (m²) at temperature T into a mean velocity.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func ChannelVelocity(mdot, area, T float64) float64 {
 	if area <= 0 {
 		return 0
@@ -259,6 +283,8 @@ func ChannelVelocity(mdot, area, T float64) float64 {
 // coefficient for a horizontal cylinder of diameter d (Churchill–Chu) —
 // the seat-structure rods of the COSEE study, conduit runs, connector
 // shells.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func NaturalHorizontalCylinder(d, Ts, Tamb float64) float64 {
 	if d <= 0 {
 		return 0
@@ -276,6 +302,8 @@ func NaturalHorizontalCylinder(d, Ts, Tamb float64) float64 {
 // sealed vertical air gap of thickness l and height h between plates at
 // Th and Tc — the card-to-wall gaps of sealed boxes.  Below the critical
 // Rayleigh number the gap behaves as pure conduction (Nu = 1).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func EnclosureVertical(l, h, Th, Tc float64) float64 {
 	if l <= 0 || h <= 0 {
 		return 0
@@ -295,6 +323,8 @@ func EnclosureVertical(l, h, Th, Tc float64) float64 {
 // velocity v and bulk temperature T.  Returns total conductance W/K using
 // the Zukauskas cylinder-in-crossflow correlation with a fin-efficiency
 // correction for conductivity kFin.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func PinFinArray(nFins int, d, hPin, kFin, v, T float64) (float64, error) {
 	if nFins < 1 || d <= 0 || hPin <= 0 || kFin <= 0 || v <= 0 {
 		return 0, fmt.Errorf("convection: invalid pin-fin inputs")

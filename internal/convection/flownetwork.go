@@ -23,6 +23,8 @@ type Channel struct {
 // width w and length l from the laminar/turbulent duct friction at a
 // representative flow q0 — a one-point linearisation adequate for slot
 // balancing.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func ChannelImpedance(gap, width, length, q0, T float64) (float64, error) {
 	if gap <= 0 || width <= 0 || length <= 0 || q0 <= 0 {
 		return 0, fmt.Errorf("convection: invalid channel geometry")
@@ -153,6 +155,8 @@ func (r *RackFlow) SolveWithFan(fan *FanCurve) (*Split, error) {
 // RequiredFlowForExitLimit returns the total flow that keeps every
 // channel's exit below limitC, found in closed form from the worst
 // power-to-flow-share ratio.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (r *RackFlow) RequiredFlowForExitLimit(limitC float64) (float64, error) {
 	if err := r.Validate(); err != nil {
 		return 0, err

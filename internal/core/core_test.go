@@ -136,10 +136,10 @@ func goodBoard() *BoardDesign {
 		EdgeCooling: ConductionCooled, RailTempC: 30,
 		MassLoadKgM2: 3,
 		Components: []*compact.Component{
-			{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: 6, X: 0.08, Y: 0.115},
-			{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 2.5, X: 0.04, Y: 0.06},
-			{RefDes: "U3", Pkg: compact.MustGet("QFP208"), Power: 2, X: 0.12, Y: 0.17},
-			{RefDes: "Q1", Pkg: compact.MustGet("TO263"), Power: 1.5, X: 0.04, Y: 0.18},
+			{RefDes: "U1", Pkg: compact.FCBGACPU, Power: 6, X: 0.08, Y: 0.115},
+			{RefDes: "U2", Pkg: compact.BGA256, Power: 2.5, X: 0.04, Y: 0.06},
+			{RefDes: "U3", Pkg: compact.QFP208, Power: 2, X: 0.12, Y: 0.17},
+			{RefDes: "Q1", Pkg: compact.TO263, Power: 1.5, X: 0.04, Y: 0.18},
 		},
 	}
 }
@@ -340,7 +340,7 @@ func TestStudyDetailedMech(t *testing.T) {
 	heavy := goodBoard()
 	heavy.DetailedMech = true
 	heavy.Components = append(heavy.Components, &compact.Component{
-		RefDes: "T1", Pkg: compact.MustGet("TO220"), Power: 0.1,
+		RefDes: "T1", Pkg: compact.TO220, Power: 0.1,
 		X: 0.08, Y: 0.115, MassKg: 0.25,
 	})
 	repHeavy, err := Study(heavy, testScreen())
@@ -404,8 +404,8 @@ func TestConjugateStreamwiseBias(t *testing.T) {
 		CopperLayers: 8, CopperOz: 1, CopperCover: 0.5,
 		EdgeCooling: ForcedAir, ChannelH: 50, ChannelAirC: 40,
 		Components: []*compact.Component{
-			{RefDes: "UP", Pkg: compact.MustGet("BGA256"), Power: 5, X: 0.04, Y: 0.05},
-			{RefDes: "DOWN", Pkg: compact.MustGet("BGA256"), Power: 5, X: 0.16, Y: 0.05},
+			{RefDes: "UP", Pkg: compact.BGA256, Power: 5, X: 0.04, Y: 0.05},
+			{RefDes: "DOWN", Pkg: compact.BGA256, Power: 5, X: 0.16, Y: 0.05},
 		},
 	}
 	res, err := ConjugateStudy(b, 1.5e-3, 8)

@@ -16,8 +16,8 @@ func forcedAirBoard(name string, cpuW float64) *BoardDesign {
 		EdgeCooling: ForcedAir, ChannelH: 55,
 		MassLoadKgM2: 3,
 		Components: []*compact.Component{
-			{RefDes: "U1", Pkg: compact.MustGet("FCBGA-CPU"), Power: cpuW, X: 0.08, Y: 0.115},
-			{RefDes: "U2", Pkg: compact.MustGet("BGA256"), Power: 2, X: 0.04, Y: 0.06},
+			{RefDes: "U1", Pkg: compact.FCBGACPU, Power: cpuW, X: 0.08, Y: 0.115},
+			{RefDes: "U2", Pkg: compact.BGA256, Power: 2, X: 0.04, Y: 0.06},
 		},
 	}
 }

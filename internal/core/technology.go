@@ -212,7 +212,7 @@ func (s Screen) Limits(tech CoolingTech) (TechLimits, error) {
 		// rejected through the chassis; evaporator flux limit governs the
 		// hot spot.
 		hp := &twophase.HeatPipe{
-			Fluid: fluids.MustGet("water"),
+			Fluid: fluids.Water,
 			Wick:  twophase.SinteredCopperWick(0.75e-3),
 			LEvap: 0.05, LAdia: 0.1, LCond: 0.1,
 			RadiusVapor:   2e-3,

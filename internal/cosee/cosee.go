@@ -76,7 +76,7 @@ type Config struct {
 // Defaults fills zero fields with the COSEE rig values.
 func (c *Config) Defaults() {
 	if c.Structure.Name == "" {
-		c.Structure = materials.MustGet("Al6061")
+		c.Structure = materials.Al6061
 	}
 	if c.AmbientC == 0 {
 		c.AmbientC = 25
@@ -135,7 +135,7 @@ func (c *Config) jointResistance(area float64) float64 {
 		}
 		g, err := tim.Get(name)
 		if err != nil {
-			g = tim.MustGet("grease-standard")
+			g = tim.GreaseStandard
 		}
 		r, err := g.ResistanceAbs(2e5, area)
 		if err != nil {
@@ -150,7 +150,7 @@ func (c *Config) jointResistance(area float64) float64 {
 func (c *Config) thermosyphon() *twophase.Thermosyphon {
 	elev := 0.3 - twophase.TiltedElevation(c.SpanM, c.TiltDeg)
 	return &twophase.Thermosyphon{
-		Fluid:          fluids.MustGet("r134a"),
+		Fluid:          fluids.R134a,
 		InnerRadius:    5e-3,
 		LEvap:          0.20,
 		LCond:          0.35,
@@ -163,7 +163,7 @@ func (c *Config) thermosyphon() *twophase.Thermosyphon {
 // tilt elevation.
 func (c *Config) lhp() *twophase.LoopHeatPipe {
 	return &twophase.LoopHeatPipe{
-		Fluid:        fluids.MustGet("ammonia"),
+		Fluid:        fluids.Ammonia,
 		PoreRadius:   1.5e-6,
 		Permeability: 4e-14,
 		WickArea:     8e-4,

@@ -41,7 +41,7 @@ func TestFig10HeadlineNumbers(t *testing.T) {
 	// The paper's headline: 40 W → 100 W capability at constant PCB
 	// temperature (+150%), a 32 °C PCB temperature decrease at 40 W, and
 	// 58 W carried by the loops at 100 W SEB power.
-	s, err := RunFig10(materials.MustGet("Al6061"))
+	s, err := RunFig10(materials.Al6061)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestFig10HeadlineNumbers(t *testing.T) {
 
 func TestTiltInsensitivity(t *testing.T) {
 	// Fig. 10: the 22° tilt curve hugs the horizontal curve.
-	s, err := RunFig10(materials.MustGet("Al6061"))
+	s, err := RunFig10(materials.Al6061)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +78,11 @@ func TestCompositeSeat(t *testing.T) {
 	// §IV.A: carbon-composite structure — "results slightly under those
 	// obtained with aluminium": ≈70 W capability (+80%) and ≈20 K cooling
 	// at 40 W.
-	al, err := RunFig10(materials.MustGet("Al6061"))
+	al, err := RunFig10(materials.Al6061)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc, err := RunFig10(materials.MustGet("CarbonComposite"))
+	cc, err := RunFig10(materials.CarbonComposite)
 	if err != nil {
 		t.Fatal(err)
 	}

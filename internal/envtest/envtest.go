@@ -110,7 +110,7 @@ func DefaultCampaign() Campaign {
 	return Campaign{
 		AccelG:        9,
 		VibCurve:      "C1",
-		VibDurationS:  3 * 3600, // 1 h per axis endurance
+		VibDurationS:  units.Hour(3), // 1 h per axis endurance
 		ClimaticLowC:  -25,
 		ClimaticHighC: 55,
 		ShockLowC:     -45,

@@ -9,7 +9,7 @@ import (
 )
 
 func TestWaterSatPressure(t *testing.T) {
-	w := MustGet("water")
+	w := Water
 	// Water boils at 100 °C under 1 atm.
 	s := w.Sat(units.CToK(100))
 	if !units.ApproxEqual(s.Psat, units.AtmPressure, 0.02) {
@@ -23,7 +23,7 @@ func TestWaterSatPressure(t *testing.T) {
 }
 
 func TestWaterProperties(t *testing.T) {
-	w := MustGet("water")
+	w := Water
 	s := w.Sat(units.CToK(20))
 	if !units.ApproxEqual(s.RhoL, 998, 0.01) {
 		t.Errorf("water rhoL = %v", s.RhoL)
@@ -45,7 +45,7 @@ func TestWaterProperties(t *testing.T) {
 }
 
 func TestAmmoniaSatPressure(t *testing.T) {
-	a := MustGet("ammonia")
+	a := Ammonia
 	// Ammonia boils at −33.3 °C under 1 atm.
 	s := a.Sat(units.CToK(-33.3))
 	if !units.ApproxEqual(s.Psat, units.AtmPressure, 0.05) {
@@ -57,10 +57,10 @@ func TestMeritNumberOrdering(t *testing.T) {
 	// At cabin temperature water has the best merit number, then ammonia,
 	// then methanol/acetone — the standard fluid-selection chart ordering.
 	T := units.CToK(40)
-	w := MustGet("water").Sat(T).MeritNumber()
-	am := MustGet("ammonia").Sat(T).MeritNumber()
-	me := MustGet("methanol").Sat(T).MeritNumber()
-	ac := MustGet("acetone").Sat(T).MeritNumber()
+	w := Water.Sat(T).MeritNumber()
+	am := Ammonia.Sat(T).MeritNumber()
+	me := Methanol.Sat(T).MeritNumber()
+	ac := Acetone.Sat(T).MeritNumber()
 	if !(w > am && am > me && me > ac*0.5) {
 		t.Errorf("merit ordering broken: water=%.3g ammonia=%.3g methanol=%.3g acetone=%.3g",
 			w, am, me, ac)
@@ -80,8 +80,8 @@ func TestMeritNumberZeroViscosity(t *testing.T) {
 
 func TestSatMonotonicity(t *testing.T) {
 	// Psat strictly increases with T; rhoL decreases; muL decreases.
-	for _, name := range Names() {
-		f := MustGet(name)
+	for _, f := range All() {
+		name := f.Name
 		prev := f.Sat(f.Tmin)
 		for T := f.Tmin + 5; T <= f.Tmax; T += 5 {
 			s := f.Sat(T)
@@ -100,7 +100,7 @@ func TestSatMonotonicity(t *testing.T) {
 }
 
 func TestSatClamping(t *testing.T) {
-	w := MustGet("water")
+	w := Water
 	below := w.Sat(100)
 	atMin := w.Sat(w.Tmin)
 	if below != atMin {
@@ -116,8 +116,8 @@ func TestSatClamping(t *testing.T) {
 
 func TestSatTemperatureInverse(t *testing.T) {
 	// SatTemperature(Sat(T).Psat) == T, property-checked in range.
-	for _, name := range Names() {
-		f := MustGet(name)
+	for _, f := range All() {
+		name := f.Name
 		g := func(raw float64) bool {
 			frac := math.Abs(math.Mod(raw, 1))
 			T := f.Tmin + frac*(f.Tmax-f.Tmin)
@@ -132,7 +132,7 @@ func TestSatTemperatureInverse(t *testing.T) {
 }
 
 func TestSatTemperatureNonPositive(t *testing.T) {
-	w := MustGet("water")
+	w := Water
 	if got := w.SatTemperature(0); got != w.Tmin {
 		t.Errorf("SatTemperature(0) = %v, want Tmin", got)
 	}
@@ -144,8 +144,8 @@ func TestClausiusClapeyronConsistency(t *testing.T) {
 	// pressure and latent-heat data describe the same fluid.  The CC slope
 	// here assumes an ideal vapour, which is ~15–20% off for dense
 	// refrigerant vapours above a few bar, so those get a wider band.
-	for _, name := range Names() {
-		f := MustGet(name)
+	for _, f := range All() {
+		name := f.Name
 		T := (f.Tmin + f.Tmax) / 2
 		dT := 0.01
 		s := f.Sat(T)
@@ -163,7 +163,7 @@ func TestClausiusClapeyronConsistency(t *testing.T) {
 
 func TestSonicVelocity(t *testing.T) {
 	// Water vapour sonic velocity at 373 K ≈ sqrt(1.33·8.314·373/0.018) ≈ 478 m/s.
-	w := MustGet("water")
+	w := Water
 	if got := w.SonicVelocity(373.15); !units.ApproxEqual(got, 478, 0.03) {
 		t.Errorf("water sonic velocity = %v, want ≈478", got)
 	}
@@ -173,17 +173,14 @@ func TestGetUnknownFluid(t *testing.T) {
 	if _, err := Get("helium3"); err == nil {
 		t.Fatal("expected error")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustGet should panic")
-		}
-	}()
-	MustGet("helium3")
+	if _, err := Get("water"); err != nil {
+		t.Fatalf("known fluid should resolve: %v", err)
+	}
 }
 
 func TestAllFluidsPositiveProperties(t *testing.T) {
-	for _, name := range Names() {
-		f := MustGet(name)
+	for _, f := range All() {
+		name := f.Name
 		for T := f.Tmin; T <= f.Tmax; T += 10 {
 			s := f.Sat(T)
 			for label, v := range map[string]float64{
@@ -203,7 +200,7 @@ func TestAllFluidsPositiveProperties(t *testing.T) {
 }
 
 func TestR134aHandbook(t *testing.T) {
-	r := MustGet("r134a")
+	r := R134a
 	// Boils at −26.1 °C under 1 atm.
 	s := r.Sat(units.CToK(-26.1))
 	if !units.ApproxEqual(s.Psat, units.AtmPressure, 0.05) {
@@ -215,13 +212,13 @@ func TestR134aHandbook(t *testing.T) {
 		t.Errorf("r134a Psat(25°C) = %v, want ≈6.6 bar", s25.Psat)
 	}
 	// Dense vapour is the fluid's selling point: far denser than water's.
-	w := MustGet("water").Sat(units.CToK(25))
+	w := Water.Sat(units.CToK(25))
 	if s25.RhoV < 10*w.RhoV {
 		t.Errorf("r134a vapour %v kg/m³ should dwarf water's %v", s25.RhoV, w.RhoV)
 	}
 	// But the merit number is far below water's — it is not a heat-pipe
 	// fluid of choice.
-	if s25.MeritNumber() > MustGet("water").Sat(units.CToK(25)).MeritNumber()/20 {
+	if s25.MeritNumber() > Water.Sat(units.CToK(25)).MeritNumber()/20 {
 		t.Error("r134a merit should be ≪ water")
 	}
 }

@@ -95,6 +95,20 @@ func (p *SSORPrec) Apply(r, z []float64) {
 	}
 }
 
+// checkFinite rejects NaN or Inf entries in the supplied vectors before a
+// solve starts: an iterative method fed a poisoned right-hand side spins
+// for maxIter iterations and returns garbage that is hard to trace back.
+func checkFinite(method string, vecs ...[]float64) error {
+	for _, v := range vecs {
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("linalg: %s input entry %d is %v", method, i, x)
+			}
+		}
+	}
+	return nil
+}
+
 // IterStats reports the outcome of an iterative solve.
 type IterStats struct {
 	Iterations int
@@ -112,6 +126,9 @@ func CG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) 
 	}
 	if len(b) != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: CG rhs length %d, want %d", len(b), n)
+	}
+	if err := checkFinite("CG", b, x0); err != nil {
+		return nil, IterStats{}, err
 	}
 	if prec == nil {
 		prec = IdentityPrec{}
@@ -171,6 +188,9 @@ func BiCGSTAB(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter
 	}
 	if len(b) != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: BiCGSTAB rhs length %d, want %d", len(b), n)
+	}
+	if err := checkFinite("BiCGSTAB", b, x0); err != nil {
+		return nil, IterStats{}, err
 	}
 	if prec == nil {
 		prec = IdentityPrec{}

@@ -1,0 +1,64 @@
+// The floatcmp rule: exact ==/!= between float64 expressions hides
+// rounding bugs; compare with a tolerance instead.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+type floatcmpRule struct{}
+
+func init() { Register(floatcmpRule{}) }
+
+func (floatcmpRule) Name() string { return "floatcmp" }
+
+func (floatcmpRule) Doc() string {
+	return "forbid exact ==/!= between float64 expressions outside test files"
+}
+
+// isZeroConst reports whether the expression is a compile-time constant
+// equal to zero.  Zero-value sentinel checks (`if cfg.AmbientC == 0`) are
+// the idiomatic Go "field not set" test and are deliberately exempt; every
+// other exact float comparison is flagged.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return v == 0
+}
+
+func (floatcmpRule) Check(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.exprIsFloat64(be.X) || !p.exprIsFloat64(be.Y) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(be.OpPos),
+				Rule: "floatcmp",
+				Msg:  "exact " + be.Op.String() + " comparison between float64 expressions",
+				Hint: "use units.ApproxEqual or an explicit tolerance",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// The nanguard rule: solver entry points either validate their float
+// inputs against NaN/Inf or explicitly document that they propagate
+// non-finite values.  A NaN that slips into an iterative solve corrupts
+// every temperature downstream without crashing — exactly the silent
+// failure class the paper's multi-level consistency flow is meant to
+// exclude.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nanguardPkgs are the import-path suffixes whose whole package is in
+// scope.
+var nanguardPkgs = []string{
+	"/internal/thermal",
+	"/internal/convection",
+	"/internal/twophase",
+}
+
+// nanguardDoc is the doc-comment marker that declares a function
+// deliberately propagates NaN/Inf to its caller.
+const nanguardDoc = "nanguard: propagates"
+
+type nanguardRule struct{}
+
+func init() { Register(nanguardRule{}) }
+
+func (nanguardRule) Name() string { return "nanguard" }
+
+func (nanguardRule) Doc() string {
+	return "solver entry points must validate float inputs (math.IsNaN/IsInf or a *Finite helper) or document '// nanguard: propagates'"
+}
+
+// floatType reports whether the type expression is syntactically float64,
+// []float64, [N]float64 or ...float64.
+func floatType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "float64"
+	case *ast.ArrayType:
+		return floatType(t.Elt)
+	case *ast.Ellipsis:
+		return floatType(t.Elt)
+	}
+	return false
+}
+
+// fieldsHaveFloat reports whether any field in the list has a float
+// type per floatType.
+func fieldsHaveFloat(fl *ast.FieldList) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		if floatType(f.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsNaNCheck reports whether the body contains a direct call to
+// math.IsNaN or math.IsInf, or to a validation helper whose name
+// mentions "Finite" (e.g. checkFinite) — the idiom packages use to
+// share one input-validation routine across several entry points.
+func callsNaNCheck(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "IsNaN" || fun.Sel.Name == "IsInf" {
+				if id, ok := fun.X.(*ast.Ident); ok && id.Name == "math" {
+					found = true
+					return false
+				}
+			}
+			if strings.Contains(fun.Sel.Name, "Finite") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if strings.Contains(fun.Name, "Finite") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exportedEntry reports whether the declaration is an exported function,
+// or an exported method on an exported receiver type.
+func exportedEntry(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func (nanguardRule) Check(p *Package) []Finding {
+	inScope := false
+	for _, suf := range nanguardPkgs {
+		if strings.HasSuffix(p.ImportPath, suf) {
+			inScope = true
+			break
+		}
+	}
+	linalg := strings.HasSuffix(p.ImportPath, "/internal/linalg")
+	if !inScope && !linalg {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		if linalg {
+			// Only the iterative solvers are in scope for linalg.
+			name := p.Fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "iterative.go") {
+				continue
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedEntry(fd) {
+				continue
+			}
+			if !fieldsHaveFloat(fd.Type.Params) || !fieldsHaveFloat(fd.Type.Results) {
+				continue
+			}
+			if callsNaNCheck(fd.Body) {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), nanguardDoc) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(fd.Name.Pos()),
+				Rule: "nanguard",
+				Msg:  "exported solver entry point " + fd.Name.Name + " neither validates float inputs nor documents NaN propagation",
+				Hint: "check inputs with math.IsNaN/math.IsInf or add '// nanguard: propagates' to the doc comment",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// The panicpolicy rule: library packages return errors, they do not
+// panic.  The only tolerated panics are the argument-contract checks in
+// internal/linalg (dimension mismatches) and internal/mesh (index range),
+// which panic with a constant message — never with a wrapped error value.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+type panicpolicyRule struct{}
+
+func init() { Register(panicpolicyRule{}) }
+
+func (panicpolicyRule) Name() string { return "panicpolicy" }
+
+func (panicpolicyRule) Doc() string {
+	return "forbid panics in library packages (contract-check panics in linalg/mesh excepted)"
+}
+
+// contractPanicArg reports whether the panic argument is the shape used
+// by the sanctioned contract checks: a string literal, or fmt.Sprintf of
+// a string literal.  panic(err) never matches.
+func contractPanicArg(e ast.Expr) bool {
+	switch a := e.(type) {
+	case *ast.BasicLit:
+		return a.Kind == token.STRING
+	case *ast.CallExpr:
+		sel, ok := a.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sprintf" {
+			return false
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "fmt" {
+			return false
+		}
+		if len(a.Args) == 0 {
+			return false
+		}
+		lit, ok := a.Args[0].(*ast.BasicLit)
+		return ok && lit.Kind == token.STRING
+	}
+	return false
+}
+
+func (panicpolicyRule) Check(p *Package) []Finding {
+	if !strings.Contains(p.ImportPath, "/internal/") {
+		return nil // commands and examples may abort however they like
+	}
+	contractPkg := strings.HasSuffix(p.ImportPath, "/internal/linalg") ||
+		strings.HasSuffix(p.ImportPath, "/internal/mesh")
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if contractPkg && contractPanicArg(call.Args[0]) {
+				return true
+			}
+			msg := "panic in library package"
+			if contractPkg {
+				msg = "non-contract panic in " + p.ImportPath
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "panicpolicy",
+				Msg:  msg,
+				Hint: "return an error to the caller instead of panicking",
+			})
+			return true
+		})
+	}
+	return out
+}

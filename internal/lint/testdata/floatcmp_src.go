@@ -1,0 +1,23 @@
+// Package scope exercises the floatcmp rule: exact ==/!= between
+// float64 expressions is flagged, zero-sentinel checks are exempt, and
+// //lint:allow suppresses one line.
+package scope
+
+// Equal is flagged: exact float equality.
+func Equal(a, b float64) bool { return a == b }
+
+// NotEqual is flagged: exact float inequality.
+func NotEqual(a, b float64) bool { return a != b }
+
+// ExactHit is suppressed by the preceding allow directive.
+func ExactHit(a, b float64) bool {
+	//lint:allow floatcmp exact table hit is intentional
+	return a == b
+}
+
+// ZeroSentinel is exempt: comparison against constant zero is the
+// idiomatic "field not set" check.
+func ZeroSentinel(a float64) bool { return a == 0 }
+
+// IntCompare is exempt: not a float comparison.
+func IntCompare(a, b int) bool { return a == b }

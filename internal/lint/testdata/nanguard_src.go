@@ -1,0 +1,34 @@
+// Package scope exercises the nanguard rule: exported solver entry
+// points with float inputs and float results must validate against
+// NaN/Inf, document propagation, or carry an allow directive.
+package scope
+
+import "math"
+
+// Unguarded is flagged: float in, float out, no validation and no
+// propagation marker.
+func Unguarded(q, area float64) float64 { return q / area }
+
+// Validated is clean: it checks its inputs with math.IsNaN/IsInf.
+func Validated(q, area float64) float64 {
+	if math.IsNaN(q) || math.IsInf(q, 0) || area <= 0 {
+		return math.NaN()
+	}
+	return q / area
+}
+
+// Documented is clean: the doc comment declares the contract.
+//
+// nanguard: propagates
+func Documented(q, area float64) float64 { return q / area }
+
+// Suppressed is excused by the preceding allow directive.
+//
+//lint:allow nanguard demonstrating the escape hatch
+func Suppressed(q, area float64) float64 { return q / area }
+
+// noFloats is out of scope: unexported.
+func noFloats(q, area float64) float64 { return q / area }
+
+// IntOnly is out of scope: no float parameters or results.
+func IntOnly(n int) int { return n * 2 }

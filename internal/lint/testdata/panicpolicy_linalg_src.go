@@ -1,0 +1,36 @@
+// Package scope exercises the panicpolicy contract-package exception:
+// loaded under the internal/linalg import path, constant-message panics
+// pass while panic(err) is still flagged.
+package scope
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errDim = errors.New("dimension mismatch")
+
+// CheckSquare is clean: a contract panic with a constant message.
+func CheckSquare(n, m int) {
+	if n != m {
+		panic("linalg: matrix must be square")
+	}
+}
+
+// CheckRange is clean: fmt.Sprintf of a literal is still contract shape.
+func CheckRange(i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("linalg: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// WrapError is flagged: panicking with an error value is never contract
+// shape, even inside linalg.
+func WrapError() {
+	panic(errDim)
+}
+
+// WrapErrorAllowed is suppressed by the trailing allow directive.
+func WrapErrorAllowed() {
+	panic(errDim) //lint:allow panicpolicy demonstrating the escape hatch
+}

@@ -1,0 +1,23 @@
+// Package scope exercises the panicpolicy rule in an ordinary library
+// package: every panic is flagged, //lint:allow suppresses one line.
+package scope
+
+import "errors"
+
+var errBroken = errors.New("broken")
+
+// Explode is flagged: library code returns errors, it does not panic.
+func Explode() {
+	panic(errBroken)
+}
+
+// ExplodeString is flagged too: outside linalg/mesh even constant-message
+// panics are forbidden.
+func ExplodeString() {
+	panic("unreachable")
+}
+
+// ExplodeAllowed is suppressed by the trailing allow directive.
+func ExplodeAllowed() {
+	panic("impossible state") //lint:allow panicpolicy demonstrating the escape hatch
+}

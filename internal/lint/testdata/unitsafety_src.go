@@ -1,0 +1,17 @@
+// Package scope exercises the unitsafety rule: inline unit-conversion
+// literals are flagged, //lint:allow suppresses one line.
+package scope
+
+// CelsiusOffset is flagged: inline absolute-zero offset.
+func CelsiusOffset(c float64) float64 { return c + 273.15 }
+
+// FluxToSI is flagged: inline W/cm² conversion factor.
+func FluxToSI(f float64) float64 { return f * 1e4 }
+
+// SecondsPerHour is suppressed by the trailing allow directive.
+func SecondsPerHour(h float64) float64 {
+	return h * 3600 //lint:allow unitsafety demonstrating the escape hatch
+}
+
+// PlainNumber is clean: 42 is not a unit-conversion constant.
+func PlainNumber(x float64) float64 { return x * 42 }

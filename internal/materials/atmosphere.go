@@ -3,6 +3,8 @@ package materials
 import (
 	"fmt"
 	"math"
+
+	"aeropack/internal/units"
 )
 
 // ISA implements the International Standard Atmosphere up to 25 km: the
@@ -25,11 +27,11 @@ func StandardAtmosphere(h float64) (ISA, error) {
 		return ISA{}, fmt.Errorf("materials: altitude %g m outside ISA range", h)
 	}
 	const (
-		T0    = 288.15  // K
-		P0    = 101325  // Pa
+		T0    = 288.15 // K
+		P0    = units.AtmPressure
 		L     = 0.0065  // K/m tropospheric lapse
 		hTrop = 11000.0 // m
-		g     = 9.80665
+		g     = units.Gravity
 		R     = 287.058
 	)
 	var T, P float64

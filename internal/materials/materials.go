@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"aeropack/internal/units"
 )
 
 // Material describes a homogeneous engineering material.  A zero value is
@@ -74,88 +76,108 @@ func (m *Material) Diffusivity() float64 {
 // VolumetricHeatCapacity returns rho·cp in J/(m³·K).
 func (m *Material) VolumetricHeatCapacity() float64 { return m.Rho * m.Cp }
 
-// db is the built-in material library.  Values are room-temperature
-// handbook numbers typical of avionics packaging practice.
-var db = map[string]Material{
-	"Al6061": {
+// Canonical built-in materials.  Values are room-temperature handbook
+// numbers typical of avionics packaging practice.  The instances are
+// exported so that a misspelt material name is a compile error rather
+// than a runtime lookup failure — the panic-free replacement for the old
+// MustGet helper.  Dynamic (string-keyed) lookup remains available via
+// Get.
+var (
+	Al6061 = Material{
 		Name: "Al6061", K: 167, Rho: 2700, Cp: 896, Emiss: 0.09,
 		E: 68.9e9, Nu: 0.33, CTE: 23.6e-6, Yield: 276e6,
 		FatigueB: -0.085, FatigueS: 620e6, MaxServiceT: 450,
-	},
-	"Al6061Anodized": {
+	}
+	Al6061Anodized = Material{
 		Name: "Al6061Anodized", K: 167, Rho: 2700, Cp: 896, Emiss: 0.84,
 		E: 68.9e9, Nu: 0.33, CTE: 23.6e-6, Yield: 276e6,
 		FatigueB: -0.085, FatigueS: 620e6, MaxServiceT: 450,
-	},
-	"Al7075": {
+	}
+	Al7075 = Material{
 		Name: "Al7075", K: 130, Rho: 2810, Cp: 960, Emiss: 0.09,
 		E: 71.7e9, Nu: 0.33, CTE: 23.4e-6, Yield: 503e6,
 		FatigueB: -0.076, FatigueS: 886e6, MaxServiceT: 450,
-	},
-	"Copper": {
+	}
+	Copper = Material{
 		Name: "Copper", K: 398, Rho: 8960, Cp: 385, Emiss: 0.03,
 		E: 117e9, Nu: 0.34, CTE: 16.5e-6, Yield: 70e6,
 		FatigueB: -0.12, FatigueS: 300e6, MaxServiceT: 500,
-	},
-	"Steel304": {
+	}
+	Steel304 = Material{
 		Name: "Steel304", K: 16.2, Rho: 8000, Cp: 500, Emiss: 0.35,
 		E: 193e9, Nu: 0.29, CTE: 17.3e-6, Yield: 215e6,
 		FatigueB: -0.09, FatigueS: 1000e6, MaxServiceT: 700,
-	},
-	"Titanium": {
+	}
+	Titanium = Material{
 		Name: "Titanium", K: 6.7, Rho: 4430, Cp: 526, Emiss: 0.3,
 		E: 113.8e9, Nu: 0.342, CTE: 8.6e-6, Yield: 880e6,
 		FatigueB: -0.07, FatigueS: 1400e6, MaxServiceT: 600,
-	},
+	}
 	// FR4 with lumped copper layers is modelled separately by pcb helpers;
 	// this entry is bare dielectric.
-	"FR4": {
+	FR4 = Material{
 		Name: "FR4", K: 0.3, KInPlane: 0.8, KThru: 0.3, Rho: 1850, Cp: 1100,
 		Emiss: 0.9, E: 22e9, Nu: 0.28, CTE: 16e-6, Yield: 310e6,
 		FatigueB: -0.12, FatigueS: 500e6, MaxServiceT: 403,
-	},
-	// Carbon-fibre composite as used for the COSEE composite seat frame —
-	// the paper stresses its "rather poor thermal conductivity" compared to
+	}
+	// CarbonComposite is the COSEE composite seat frame material — the
+	// paper stresses its "rather poor thermal conductivity" compared to
 	// aluminium.
-	"CarbonComposite": {
+	CarbonComposite = Material{
 		Name: "CarbonComposite", K: 5, KInPlane: 8, KThru: 0.8,
 		Rho: 1600, Cp: 900, Emiss: 0.88,
 		E: 70e9, Nu: 0.3, CTE: 2e-6, Yield: 600e6,
 		FatigueB: -0.07, FatigueS: 900e6, MaxServiceT: 420,
-	},
-	"Silicon": {
+	}
+	Silicon = Material{
 		Name: "Silicon", K: 148, Rho: 2330, Cp: 712, Emiss: 0.6,
 		E: 130e9, Nu: 0.28, CTE: 2.6e-6, Yield: 7000e6,
 		MaxServiceT: 500,
-	},
-	"Alumina": {
+	}
+	Alumina = Material{
 		Name: "Alumina", K: 27, Rho: 3900, Cp: 880, Emiss: 0.8,
 		E: 370e9, Nu: 0.22, CTE: 7.2e-6, Yield: 300e6,
 		MaxServiceT: 1000,
-	},
-	"AlN": {
+	}
+	AlN = Material{
 		Name: "AlN", K: 170, Rho: 3260, Cp: 740, Emiss: 0.85,
 		E: 330e9, Nu: 0.24, CTE: 4.5e-6, Yield: 300e6,
 		MaxServiceT: 1000,
-	},
-	"SolderSAC305": {
+	}
+	SolderSAC305 = Material{
 		Name: "SolderSAC305", K: 58, Rho: 7400, Cp: 220, Emiss: 0.06,
 		E: 51e9, Nu: 0.36, CTE: 21.7e-6, Yield: 45e6,
 		FatigueB: -0.1, FatigueS: 100e6, MaxServiceT: 423,
-	},
-	"MoldCompound": {
+	}
+	MoldCompound = Material{
 		Name: "MoldCompound", K: 0.9, Rho: 1970, Cp: 880, Emiss: 0.92,
 		E: 24e9, Nu: 0.3, CTE: 12e-6, Yield: 120e6,
 		MaxServiceT: 448,
-	},
-	// Annealed pyrolytic graphite / thermal drain material for conduction-
-	// cooled boards.
-	"ThermalDrain": {
+	}
+	// ThermalDrain is annealed pyrolytic graphite for conduction-cooled
+	// boards.
+	ThermalDrain = Material{
 		Name: "ThermalDrain", K: 1200, KInPlane: 1600, KThru: 10,
 		Rho: 2260, Cp: 710, Emiss: 0.85,
 		E: 20e9, Nu: 0.25, CTE: 1e-6, Yield: 50e6,
 		MaxServiceT: 500,
-	},
+	}
+)
+
+// db is the built-in material library, keyed by name and built from the
+// canonical instances above at package construction time.
+var db = byName(
+	Al6061, Al6061Anodized, Al7075, Copper, Steel304, Titanium, FR4,
+	CarbonComposite, Silicon, Alumina, AlN, SolderSAC305, MoldCompound,
+	ThermalDrain,
+)
+
+func byName(ms ...Material) map[string]Material {
+	out := make(map[string]Material, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out
 }
 
 // Get returns the named material from the built-in library.
@@ -167,16 +189,6 @@ func Get(name string) (Material, error) {
 	return m, nil
 }
 
-// MustGet is Get but panics on unknown names; for use in package-level
-// variable initialisation and tests.
-func MustGet(name string) Material {
-	m, err := Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Names returns the sorted list of built-in material names.
 func Names() []string {
 	names := make([]string, 0, len(db))
@@ -185,6 +197,15 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// All returns the library materials sorted by name.
+func All() []Material {
+	out := make([]Material, 0, len(db))
+	for _, n := range Names() {
+		out = append(out, db[n])
+	}
+	return out
 }
 
 // Register adds (or replaces) a material in the library.  It returns an
@@ -211,8 +232,8 @@ func Register(m Material) error {
 // through-plane the series bound — the standard level-2 lumping used when a
 // detailed layer stack is not simulated (paper §II.B, level 2).
 func PCB(layers int, ozCu, coverage, boardThk float64) Material {
-	fr4 := MustGet("FR4")
-	cu := MustGet("Copper")
+	fr4 := FR4
+	cu := Copper
 	tCu := float64(layers) * ozCu * 35e-6 * coverage
 	if tCu > boardThk {
 		tCu = boardThk
@@ -256,11 +277,12 @@ func Air(T, p float64) AirProps {
 		T = 150
 	}
 	const Rair = 287.058
+	const T0 = units.ZeroCelsius // Sutherland reference temperature
 	rho := p / (Rair * T)
 	// Sutherland's law for viscosity.
-	mu := 1.716e-5 * (T / 273.15) * math.Sqrt(T/273.15) * (273.15 + 110.4) / (T + 110.4)
+	mu := 1.716e-5 * (T / T0) * math.Sqrt(T/T0) * (T0 + 110.4) / (T + 110.4)
 	// Conductivity: Sutherland-type fit.
-	k := 0.0241 * (T / 273.15) * math.Sqrt(T/273.15) * (273.15 + 194) / (T + 194)
+	k := 0.0241 * (T / T0) * math.Sqrt(T/T0) * (T0 + 194) / (T + 194)
 	cp := 1002.5 + 275e-6*(T-200)*(T-200) // weak quadratic rise
 	nu := mu / rho
 	pr := mu * cp / k

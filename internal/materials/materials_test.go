@@ -32,13 +32,17 @@ func TestGetUnknown(t *testing.T) {
 	}
 }
 
-func TestMustGetPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustGet should panic on unknown material")
+func TestAllMatchesNames(t *testing.T) {
+	all := All()
+	names := Names()
+	if len(all) != len(names) {
+		t.Fatalf("All returned %d materials, Names %d", len(all), len(names))
+	}
+	for i, m := range all {
+		if m.Name != names[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, m.Name, names[i])
 		}
-	}()
-	MustGet("unobtainium")
+	}
 }
 
 func TestRegister(t *testing.T) {
@@ -62,14 +66,14 @@ func TestRegister(t *testing.T) {
 }
 
 func TestOrthotropic(t *testing.T) {
-	al := MustGet("Al6061")
+	al := Al6061
 	if al.Orthotropic() {
 		t.Error("Al6061 should be isotropic")
 	}
 	if al.Kx() != al.K || al.Kz() != al.K {
 		t.Error("isotropic fallback broken")
 	}
-	fr4 := MustGet("FR4")
+	fr4 := FR4
 	if !fr4.Orthotropic() {
 		t.Error("FR4 laminate should be orthotropic")
 	}
@@ -79,7 +83,7 @@ func TestOrthotropic(t *testing.T) {
 }
 
 func TestDiffusivity(t *testing.T) {
-	al := MustGet("Al6061")
+	al := Al6061
 	// Aluminium diffusivity ≈ 6.9e-5 m²/s.
 	if got := al.Diffusivity(); !units.ApproxEqual(got, 6.9e-5, 0.05) {
 		t.Errorf("Al6061 diffusivity = %v, want ≈6.9e-5", got)
@@ -93,8 +97,8 @@ func TestDiffusivity(t *testing.T) {
 func TestCompositeVsAluminium(t *testing.T) {
 	// The paper: composite seat has "rather poor thermal conductivity"
 	// compared to aluminium — our DB must preserve that ordering strongly.
-	al := MustGet("Al6061")
-	cc := MustGet("CarbonComposite")
+	al := Al6061
+	cc := CarbonComposite
 	if cc.Kx() > al.K/10 {
 		t.Errorf("composite k=%v not ≪ aluminium k=%v", cc.Kx(), al.K)
 	}
@@ -125,7 +129,7 @@ func TestPCBCopperSaturation(t *testing.T) {
 	// Pathological input: copper thicker than the board must clamp, giving
 	// pure-copper properties, not k > k_Cu.
 	b := PCB(100, 3.0, 1.0, 0.5e-3)
-	cu := MustGet("Copper")
+	cu := Copper
 	if b.Kx() > cu.K*1.0001 {
 		t.Errorf("clamped PCB k = %v exceeds copper %v", b.Kx(), cu.K)
 	}
@@ -134,8 +138,8 @@ func TestPCBCopperSaturation(t *testing.T) {
 func TestPCBBounds(t *testing.T) {
 	// Property: for any sane inputs the lumped conductivities respect the
 	// Wiener bounds (series ≤ effective ≤ parallel) relative to FR4/Cu.
-	fr4 := MustGet("FR4")
-	cu := MustGet("Copper")
+	fr4 := FR4
+	cu := Copper
 	f := func(layersRaw uint8, oz, cov float64) bool {
 		layers := int(layersRaw%16) + 1
 		oz = math.Abs(math.Mod(oz, 3)) + 0.1
@@ -190,7 +194,7 @@ func TestAirTrends(t *testing.T) {
 }
 
 func TestVolumetricHeatCapacity(t *testing.T) {
-	al := MustGet("Al6061")
+	al := Al6061
 	if got := al.VolumetricHeatCapacity(); !units.ApproxEqual(got, 2700*896, 1e-12) {
 		t.Errorf("VolumetricHeatCapacity = %v", got)
 	}

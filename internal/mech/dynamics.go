@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"aeropack/internal/linalg"
+	"aeropack/internal/units"
 )
 
 // DynResult is a base-excitation time history for a lumped system.
@@ -100,7 +101,7 @@ func (s *Lumped) BaseTransient(baseAccel func(t float64) float64, dt float64, st
 		res.Times = append(res.Times, tm)
 		for i, name := range s.labels {
 			res.RelDisp[name] = append(res.RelDisp[name], y[i])
-			res.AbsAccG[name] = append(res.AbsAccG[name], (ya[i]+ub)/9.80665)
+			res.AbsAccG[name] = append(res.AbsAccG[name], units.ToGLevel(ya[i]+ub))
 		}
 	}
 	record(0, ub0)
@@ -145,7 +146,7 @@ func HalfSineBase(ampG, durS float64) func(t float64) float64 {
 		if t < 0 || t > durS {
 			return 0
 		}
-		return ampG * 9.80665 * math.Sin(math.Pi*t/durS)
+		return units.GLevel(ampG) * math.Sin(math.Pi*t/durS)
 	}
 }
 
@@ -154,6 +155,6 @@ func HalfSineBase(ampG, durS float64) func(t float64) float64 {
 func SineBase(ampG, f float64) func(t float64) float64 {
 	w := 2 * math.Pi * f
 	return func(t float64) float64 {
-		return ampG * 9.80665 * math.Sin(w*t)
+		return units.GLevel(ampG) * math.Sin(w*t)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math/cmplx"
 
 	"aeropack/internal/linalg"
+	"aeropack/internal/units"
 )
 
 // Ground is the reserved node name for the fixed base in lumped systems.
@@ -312,7 +313,7 @@ func (s *Lumped) StaticDeflection(gLevel float64) (map[string]float64, error) {
 	}
 	n := len(s.labels)
 	f := make([]float64, n)
-	a := gLevel * 9.80665
+	a := units.GLevel(gLevel)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			f[i] += m.At(i, j) * a

@@ -205,7 +205,7 @@ func TestLumpedErrors(t *testing.T) {
 }
 
 func TestBeamMatchesAnalytic(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	for _, tc := range []struct {
 		left, right Support
 	}{
@@ -233,7 +233,7 @@ func TestBeamMatchesAnalytic(t *testing.T) {
 }
 
 func TestBeamHigherModes(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	b, _ := NewBeamRect(al, 0.3, 0.02, 0.004, 40)
 	freqs, err := b.ModalFrequencies(3)
 	if err != nil {
@@ -249,7 +249,7 @@ func TestBeamHigherModes(t *testing.T) {
 }
 
 func TestBeamPointMassLowersFrequency(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	bare, _ := NewBeamRect(al, 0.3, 0.02, 0.004, 20)
 	f0, err := bare.FundamentalHz()
 	if err != nil {
@@ -272,7 +272,7 @@ func TestBeamPointMassLowersFrequency(t *testing.T) {
 }
 
 func TestBeamValidation(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	if _, err := NewBeamRect(al, 0, 0.02, 0.004, 10); err == nil {
 		t.Error("zero length should error")
 	}
@@ -289,7 +289,7 @@ func TestBeamValidation(t *testing.T) {
 
 func TestPlateSSSSAnalytic(t *testing.T) {
 	// Bare FR4 card 160×100×1.6 mm simply supported.
-	p := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.MustGet("FR4"), Edges: SSSS}
+	p := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.FR4, Edges: SSSS}
 	f, err := p.FundamentalHz()
 	if err != nil {
 		t.Fatal(err)
@@ -316,7 +316,7 @@ func TestPlateSSSSAnalytic(t *testing.T) {
 
 func TestPlateEdgeStiffnessOrdering(t *testing.T) {
 	mk := func(e PlateEdge) float64 {
-		p := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.MustGet("FR4"), Edges: e}
+		p := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.FR4, Edges: e}
 		f, err := p.FundamentalHz()
 		if err != nil {
 			t.Fatal(err)
@@ -332,7 +332,7 @@ func TestPlateEdgeStiffnessOrdering(t *testing.T) {
 }
 
 func TestPlateMassLoadingLowersFrequency(t *testing.T) {
-	bare := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.MustGet("FR4"), Edges: SSSS}
+	bare := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: materials.FR4, Edges: SSSS}
 	loaded := *bare
 	loaded.MassLoadKgM2 = 3 // populated board
 	f0, _ := bare.FundamentalHz()
@@ -345,7 +345,7 @@ func TestPlateMassLoadingLowersFrequency(t *testing.T) {
 func TestPlateThicknessForFrequency(t *testing.T) {
 	// The Ariane power-supply exercise: choose thickness to put the main
 	// mode at 500 Hz.
-	p := &Plate{A: 0.2, B: 0.15, Material: materials.MustGet("FR4"), Edges: CCCC, MassLoadKgM2: 2}
+	p := &Plate{A: 0.2, B: 0.15, Material: materials.FR4, Edges: CCCC, MassLoadKgM2: 2}
 	thk, err := p.ThicknessForFrequency(500)
 	if err != nil {
 		t.Fatal(err)
@@ -371,7 +371,7 @@ func TestPlateValidation(t *testing.T) {
 	if _, err := p.FundamentalHz(); err == nil {
 		t.Error("empty plate should error")
 	}
-	q := &Plate{A: 0.1, B: 0.1, Thickness: 1e-3, Material: materials.MustGet("FR4"), Edges: SSSS}
+	q := &Plate{A: 0.1, B: 0.1, Thickness: 1e-3, Material: materials.FR4, Edges: SSSS}
 	if _, err := q.ModeHz(0, 1); err == nil {
 		t.Error("mode 0 should error")
 	}
@@ -395,7 +395,7 @@ func TestOctaveRule(t *testing.T) {
 }
 
 func TestBaseModesParticipation(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	b, _ := NewBeamRect(al, 0.3, 0.02, 0.004, 30)
 	modes, err := b.BaseModes(6)
 	if err != nil {
@@ -433,7 +433,7 @@ func TestBaseModesParticipation(t *testing.T) {
 }
 
 func TestBaseModesShapeSampling(t *testing.T) {
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	b, _ := NewBeamRect(al, 0.3, 0.02, 0.004, 20)
 	modes, err := b.BaseModes(1)
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestPlateFEMMatchesAnalyticSSSS(t *testing.T) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	ref := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: fr4, Edges: SSSS}
 	want, err := ref.FundamentalHz()
 	if err != nil {
@@ -43,7 +43,7 @@ func TestPlateFEMMatchesAnalyticSSSS(t *testing.T) {
 func TestPlateFEMConvergesFromBelow(t *testing.T) {
 	// The ACM element is non-conforming: frequencies converge to the exact
 	// value from below, monotonically with refinement.
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	ref := &Plate{A: 0.16, B: 0.10, Thickness: 1.6e-3, Material: fr4, Edges: SSSS}
 	exact, _ := ref.FundamentalHz()
 	prev := 0.0
@@ -64,7 +64,7 @@ func TestPlateFEMConvergesFromBelow(t *testing.T) {
 }
 
 func TestPlateFEMClampedStiffer(t *testing.T) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	ss, _ := NewPlateFEM(0.12, 0.10, 1.6e-3, fr4, 6, 6)
 	fss, err := ss.FundamentalHz()
 	if err != nil {
@@ -90,7 +90,7 @@ func TestPlateFEMWedgeLockEdges(t *testing.T) {
 	// Two opposite edges clamped (wedge locks), the others free: the
 	// plate behaves like a clamped-clamped beam strip — finite frequency,
 	// below the all-edges-supported case of the same plate.
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	wl, _ := NewPlateFEM(0.16, 0.10, 1.6e-3, fr4, 6, 6)
 	wl.EdgesSupported = [4]bool{false, false, false, false}
 	wl.EdgesClamped = [4]bool{true, true, false, false}
@@ -112,7 +112,7 @@ func TestPlateFEMWedgeLockEdges(t *testing.T) {
 }
 
 func TestPlateFEMPointMassLowersFrequency(t *testing.T) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	bare, _ := NewPlateFEM(0.16, 0.10, 1.6e-3, fr4, 6, 6)
 	f0, err := bare.FundamentalHz()
 	if err != nil {
@@ -148,7 +148,7 @@ func TestPlateFEMPointMassLowersFrequency(t *testing.T) {
 }
 
 func TestPlateFEMValidation(t *testing.T) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	if _, err := NewPlateFEM(0, 0.1, 1e-3, fr4, 4, 4); err == nil {
 		t.Error("zero dimension should error")
 	}
@@ -175,7 +175,7 @@ func TestPlateFEMValidation(t *testing.T) {
 }
 
 func TestPlateFEMBaseModes(t *testing.T) {
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	p, _ := NewPlateFEM(0.16, 0.10, 1.6e-3, fr4, 6, 6)
 	modes, err := p.BaseModes(4)
 	if err != nil {
@@ -218,7 +218,7 @@ func TestPlateFEMRandomResponseIntegration(t *testing.T) {
 	// Full-board random response: the plate's modal data feeds the
 	// modal-superposition machinery; the centre response lands near the
 	// classical Γφ·SDOF single-mode estimate.
-	fr4 := materials.MustGet("FR4")
+	fr4 := materials.FR4
 	p, _ := NewPlateFEM(0.16, 0.10, 2e-3, fr4, 6, 6)
 	p.MassLoadKgM2 = 2
 	modes, err := p.BaseModes(5)

@@ -48,14 +48,14 @@ type AdhesiveDesign struct {
 // fillerType is "flake" (mono-epoxy product) or "sphere" (multi-epoxy).
 func DesignSilverAdhesive(fillerType string, targetK float64) (*AdhesiveDesign, error) {
 	var shapeA, phiMax float64
-	var product string
+	var mat tim.Material
 	switch fillerType {
 	case "flake":
 		shapeA, phiMax = 5, 0.52
-		product = "nanopack-Ag-flake-mono"
+		mat = tim.NanopackAgFlakeMono
 	case "sphere":
 		shapeA, phiMax = 8.5, 0.58
-		product = "nanopack-Ag-sphere-multi"
+		mat = tim.NanopackAgSphereMulti
 	default:
 		return nil, fmt.Errorf("nanopack: unknown filler type %q", fillerType)
 	}
@@ -87,14 +87,13 @@ func DesignSilverAdhesive(fillerType string, targetK float64) (*AdhesiveDesign, 
 	phi := 0.5 * (lo + hi)
 	kPred, _ := tim.LewisNielsen(kEpoxy, kAg, phi, shapeA, phiMax)
 
-	mat := tim.MustGet(product)
 	tester := tim.NewD5470(421)
 	stats, err := tester.RunCampaign(&mat, 50)
 	if err != nil {
 		return nil, err
 	}
 	return &AdhesiveDesign{
-		Name:            product,
+		Name:            mat.Name,
 		FillerFraction:  phi,
 		PredictedK:      kPred,
 		MeasuredK:       stats.MeanKApp,
@@ -123,8 +122,7 @@ func EvaluateHNC(p float64) (*HNCResult, error) {
 	}
 	res := &HNCResult{MajorityAbove: 0.20}
 	count := 0
-	for _, name := range tim.Names() {
-		m := tim.MustGet(name)
+	for _, m := range tim.All() {
 		var reduction float64
 		switch m.Kind {
 		case "grease", "pcm":
@@ -138,7 +136,7 @@ func EvaluateHNC(p float64) (*HNCResult, error) {
 		}
 		h := m.WithHNC(reduction)
 		achieved := 1 - h.BLT(p)/m.BLT(p)
-		res.Materials = append(res.Materials, name)
+		res.Materials = append(res.Materials, m.Name)
 		res.Reductions = append(res.Reductions, achieved)
 		res.MeanReduction += achieved
 		if achieved > res.MajorityAbove {
@@ -169,8 +167,7 @@ func ValidateTester(seed int64, shots int) (*TesterValidation, error) {
 	}
 	tester := tim.NewD5470(seed)
 	out := &TesterValidation{}
-	for _, name := range tim.Names() {
-		m := tim.MustGet(name)
+	for _, m := range tim.All() {
 		if m.Kind == "pad" {
 			continue
 		}
@@ -212,15 +209,14 @@ func ResultsToDate(p float64) ([]ProductReport, error) {
 	}
 	obj := ProjectObjectives()
 	var out []ProductReport
-	for _, name := range []string{
-		"nanopack-Ag-flake-mono",
-		"nanopack-Ag-sphere-multi",
-		"nanopack-CNT-composite",
+	for _, m := range []tim.Material{
+		tim.NanopackAgFlakeMono,
+		tim.NanopackAgSphereMulti,
+		tim.NanopackCNTComposite,
 	} {
-		m := tim.MustGet(name)
 		kOK, rOK, bltOK := m.MeetsNanopackTarget(p)
 		out = append(out, ProductReport{
-			Product:      name,
+			Product:      m.Name,
 			KWmK:         m.K,
 			RKmm2W:       units.ToKMm2PerW(m.Resistance(p)),
 			BLTUm:        m.BLT(p) * 1e6,

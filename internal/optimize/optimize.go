@@ -110,7 +110,7 @@ func PatternSearch(f func([]float64) float64, x0 []float64, bounds []Bounds, tol
 			for _, dir := range []float64{+1, -1} {
 				copy(trial, x)
 				trial[i] = clamp(x[i]+dir*d, bounds[i].Lo, bounds[i].Hi)
-				if trial[i] == x[i] {
+				if trial[i] == x[i] { //lint:allow floatcmp clamp left the coordinate unchanged
 					continue
 				}
 				if fv := f(trial); fv < fx {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"aeropack/internal/units"
 )
 
 // WriteCSV dumps the solved field as "x,y,z,T_C" rows (cell centroids,
@@ -22,7 +24,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		for j := 0; j < r.g.Ny; j++ {
 			for i := 0; i < r.g.Nx; i++ {
 				x, y, z := r.g.CellCenter(i, j, k)
-				t := r.T[r.g.Index(i, j, k)] - 273.15
+				t := units.KToC(r.T[r.g.Index(i, j, k)])
 				if _, err := fmt.Fprintf(bw, "%.6g,%.6g,%.6g,%.4f\n", x, y, z, t); err != nil {
 					return err
 				}

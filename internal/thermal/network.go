@@ -317,6 +317,8 @@ func (n *Network) FlowBetween(res *SteadyResult, a, b string) float64 {
 // conductive layers plus optional interface resistances: layers are
 // (thickness m, conductivity W/mK) pairs over area m², interfaces are
 // specific resistances in K·m²/W.  Returns total K/W.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func SeriesResistance(area float64, layers [][2]float64, interfaces []float64) (float64, error) {
 	if area <= 0 {
 		return 0, fmt.Errorf("thermal: non-positive area")

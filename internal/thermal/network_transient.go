@@ -16,6 +16,8 @@ type TransientResult struct {
 }
 
 // At returns the temperature of a node at the sample closest to time t.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (r *TransientResult) At(node string, t float64) (float64, error) {
 	hist, ok := r.T[node]
 	if !ok {
@@ -45,6 +47,8 @@ func (r *TransientResult) Final() map[string]float64 {
 
 // TimeToReach returns the first time a node crosses the given temperature
 // (rising or falling), or an error if it never does within the history.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (r *TransientResult) TimeToReach(node string, target float64) (float64, error) {
 	hist, ok := r.T[node]
 	if !ok {

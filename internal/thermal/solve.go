@@ -61,6 +61,8 @@ func (r *Result) Mean() float64 {
 
 // MaxInBox returns the hottest temperature among cells with centroids in
 // the physical box — used to probe component regions.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (r *Result) MaxInBox(x0, x1, y0, y1, z0, z1 float64) float64 {
 	b := r.g.LocateBox(x0, x1, y0, y1, z0, z1)
 	m := math.Inf(-1)
@@ -77,6 +79,8 @@ func (r *Result) MaxInBox(x0, x1, y0, y1, z0, z1 float64) float64 {
 }
 
 // MeanInBox returns the volume-weighted mean temperature in the box.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (r *Result) MeanInBox(x0, x1, y0, y1, z0, z1 float64) float64 {
 	b := r.g.LocateBox(x0, x1, y0, y1, z0, z1)
 	sumVT, sumV := 0.0, 0.0

@@ -14,6 +14,8 @@ import (
 // It is the quantity that makes the paper's hot-spot problem hard: a die
 // at 100 W/cm² on a plain aluminium lid loses most of its budget to
 // spreading before the coolant ever sees the heat.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func SpreadingResistance(r1, r2, t, k, h float64) (float64, error) {
 	if r1 <= 0 || r2 <= r1 || t <= 0 || k <= 0 || h <= 0 {
 		return 0, fmt.Errorf("thermal: spreading inputs invalid (r1=%g r2=%g t=%g k=%g h=%g)", r1, r2, t, k, h)
@@ -30,6 +32,8 @@ func SpreadingResistance(r1, r2, t, k, h float64) (float64, error) {
 // EquivalentRadius returns the radius of the circle with the same area as
 // an a×b rectangle — the standard mapping for using circular spreading
 // formulas with rectangular dies and plates.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func EquivalentRadius(a, b float64) float64 {
 	if a <= 0 || b <= 0 {
 		return 0
@@ -41,6 +45,8 @@ func EquivalentRadius(a, b float64) float64 {
 // source (area aSrc) on a spreader plate (area aPlate, thickness t,
 // conductivity k) cooled by h on the far face: spreading + one-dimensional
 // conduction + film.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func PlateSourceResistance(aSrc, aPlate, t, k, h float64) (float64, error) {
 	r1 := EquivalentRadius(math.Sqrt(aSrc), math.Sqrt(aSrc))
 	r2 := EquivalentRadius(math.Sqrt(aPlate), math.Sqrt(aPlate))

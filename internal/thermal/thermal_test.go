@@ -81,7 +81,7 @@ func TestSlabConvectionBC(t *testing.T) {
 func TestVolumeSourceEnergyBalance(t *testing.T) {
 	// All injected power must leave through the boundaries.
 	g, _ := mesh.Uniform(8, 8, 4, 0.1, 0.1, 0.01)
-	mat := materials.MustGet("Al6061")
+	mat := materials.Al6061
 	m, _ := NewModel(g, []materials.Material{mat})
 	m.SetFaceBC(mesh.ZMin, BC{Kind: Convection, T: 300, H: 20})
 	m.SetFaceBC(mesh.ZMax, BC{Kind: Convection, T: 300, H: 20})
@@ -107,7 +107,7 @@ func TestEnergyBalanceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 8; trial++ {
 		g, _ := mesh.Uniform(4+rng.Intn(5), 4+rng.Intn(5), 2+rng.Intn(3), 0.1, 0.08, 0.02)
-		mat := materials.MustGet("Copper")
+		mat := materials.Copper
 		m, _ := NewModel(g, []materials.Material{mat})
 		m.SetFaceBC(mesh.XMin, BC{Kind: Convection, T: 280 + 40*rng.Float64(), H: 5 + 100*rng.Float64()})
 		m.SetFaceBC(mesh.YMax, BC{Kind: FixedT, T: 280 + 40*rng.Float64()})
@@ -164,7 +164,7 @@ func TestTwoMaterialSeriesSlab(t *testing.T) {
 	// Half aluminium, half FR4 in series along x — interface temperature
 	// from series resistance.
 	g, _ := mesh.Uniform(40, 1, 1, 0.02, 0.1, 0.1)
-	al := materials.MustGet("Al6061")
+	al := materials.Al6061
 	fr4 := materials.Material{Name: "fr4iso", K: 0.3, Rho: 1850, Cp: 1100}
 	m, _ := NewModel(g, []materials.Material{al, fr4})
 	g.PaintRegion(0.01, 0.02, 0, 0.1, 0, 0.1, 1)
@@ -207,7 +207,7 @@ func TestPatchBCOverride(t *testing.T) {
 	// Cold plate on part of the bottom face only: patch must dominate the
 	// default adiabatic face.
 	g, _ := mesh.Uniform(10, 10, 2, 0.1, 0.1, 0.004)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, _ := NewModel(g, []materials.Material{materials.Al6061})
 	if n := m.AddPatchBC(mesh.ZMin, 0, 0.05, 0, 0.1, 0, 0.004, BC{Kind: FixedT, T: 290}); n == 0 {
 		t.Fatal("patch missed")
 	}
@@ -229,7 +229,7 @@ func TestPatchBCOverride(t *testing.T) {
 func TestSolverVariantsAgree(t *testing.T) {
 	build := func() *Model {
 		g, _ := mesh.Uniform(6, 6, 3, 0.06, 0.06, 0.01)
-		m, _ := NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+		m, _ := NewModel(g, []materials.Material{materials.Al6061})
 		m.SetFaceBC(mesh.ZMin, BC{Kind: Convection, T: 300, H: 30})
 		m.AddVolumeSource(0.02, 0.04, 0.02, 0.04, 0, 0.01, 3)
 		return m
@@ -252,7 +252,7 @@ func TestSolverVariantsAgree(t *testing.T) {
 
 func TestTransientApproachesSteady(t *testing.T) {
 	g, _ := mesh.Uniform(6, 6, 2, 0.05, 0.05, 0.003)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, _ := NewModel(g, []materials.Material{materials.Al6061})
 	m.SetFaceBC(mesh.ZMin, BC{Kind: Convection, T: 300, H: 40})
 	m.AddVolumeSource(0, 0.05, 0, 0.05, 0, 0.003, 4)
 	steady, err := m.SolveSteady(nil)
@@ -275,7 +275,7 @@ func TestTransientApproachesSteady(t *testing.T) {
 
 func TestTransientMonotoneHeating(t *testing.T) {
 	g, _ := mesh.Uniform(4, 4, 1, 0.02, 0.02, 0.002)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("Copper")})
+	m, _ := NewModel(g, []materials.Material{materials.Copper})
 	m.SetFaceBC(mesh.XMin, BC{Kind: Convection, T: 300, H: 10})
 	m.AddVolumeSource(0, 0.02, 0, 0.02, 0, 0.002, 1)
 	var maxes []float64
@@ -303,7 +303,7 @@ func TestTransientMonotoneHeating(t *testing.T) {
 
 func TestTransientBadOptions(t *testing.T) {
 	g, _ := mesh.Uniform(2, 2, 1, 0.01, 0.01, 0.001)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, _ := NewModel(g, []materials.Material{materials.Al6061})
 	if _, err := m.SolveTransient(300, nil); err == nil {
 		t.Error("nil options should error")
 	}
@@ -321,7 +321,7 @@ func TestNewModelValidation(t *testing.T) {
 		t.Error("empty material table should error")
 	}
 	g.MatIdx[0] = 5
-	if _, err := NewModel(g, []materials.Material{materials.MustGet("Al6061")}); err == nil {
+	if _, err := NewModel(g, []materials.Material{materials.Al6061}); err == nil {
 		t.Error("out-of-range material index should error")
 	}
 }
@@ -351,7 +351,7 @@ func TestResultProbes(t *testing.T) {
 
 func TestMissedSourceReturnsZero(t *testing.T) {
 	g, _ := mesh.Uniform(2, 2, 1, 0.01, 0.01, 0.001)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("Al6061")})
+	m, _ := NewModel(g, []materials.Material{materials.Al6061})
 	if n := m.AddVolumeSource(1, 2, 1, 2, 1, 2, 10); n != 0 {
 		t.Error("source outside mesh should report 0 cells")
 	}
@@ -399,7 +399,7 @@ func TestWriteCSVAndSlice(t *testing.T) {
 
 func TestHotSpotLocation(t *testing.T) {
 	g, _ := mesh.Uniform(10, 10, 1, 0.1, 0.1, 0.002)
-	m, _ := NewModel(g, []materials.Material{materials.MustGet("FR4")})
+	m, _ := NewModel(g, []materials.Material{materials.FR4})
 	m.SetFaceBC(mesh.ZMin, BC{Kind: Convection, T: 300, H: 15})
 	// Source in the upper-right quadrant.
 	m.AddVolumeSource(0.07, 0.09, 0.07, 0.09, 0, 0.002, 2)

@@ -7,7 +7,7 @@ import (
 )
 
 func TestAgingGreasePumpOut(t *testing.T) {
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	fresh := g.Resistance(2e5)
 	aged, err := g.Aged(1000, 60)
 	if err != nil {
@@ -35,8 +35,8 @@ func TestAgingGreasePumpOut(t *testing.T) {
 func TestAgingAdhesiveSlower(t *testing.T) {
 	// Adhesives degrade far slower than greases — the reliability argument
 	// for the NANOPACK adhesive route.
-	g := MustGet("grease-standard")
-	a := MustGet("nanopack-Ag-flake-mono")
+	g := GreaseStandard
+	a := NanopackAgFlakeMono
 	gAged, _ := g.Aged(1000, 60)
 	aAged, _ := a.Aged(1000, 60)
 	gRatio := gAged.Resistance(2e5) / g.Resistance(2e5)
@@ -47,7 +47,7 @@ func TestAgingAdhesiveSlower(t *testing.T) {
 }
 
 func TestAgingPadRelaxes(t *testing.T) {
-	p := MustGet("pad-gap-filler")
+	p := PadGapFiller
 	aged, _ := p.Aged(500, 60)
 	if aged.Resistance(2e5) >= p.Resistance(2e5) {
 		t.Error("pads conform slightly with cycling")
@@ -55,7 +55,7 @@ func TestAgingPadRelaxes(t *testing.T) {
 }
 
 func TestAgingSolderStable(t *testing.T) {
-	s := MustGet("solder-indium")
+	s := SolderIndium
 	aged, _ := s.Aged(1000, 60)
 	if !units.ApproxEqual(aged.Resistance(2e5), s.Resistance(2e5), 1e-9) {
 		t.Error("solder should be stable at this modelling level")
@@ -63,7 +63,7 @@ func TestAgingSolderStable(t *testing.T) {
 }
 
 func TestAgingZeroAndErrors(t *testing.T) {
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	same, err := g.Aged(0, 60)
 	if err != nil || !units.ApproxEqual(same.Resistance(2e5), g.Resistance(2e5), 1e-12) {
 		t.Error("zero cycles should be identity")
@@ -77,7 +77,7 @@ func TestAgingZeroAndErrors(t *testing.T) {
 }
 
 func TestCyclesToResistanceLimit(t *testing.T) {
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	fresh := g.Resistance(2e5)
 	// Limit at 1.5× fresh: must be hit within a plausible cycle count and
 	// bracket correctly (resistance just below at n−1, at/above at n).
@@ -98,7 +98,7 @@ func TestCyclesToResistanceLimit(t *testing.T) {
 		t.Errorf("already-over case = %v, %v", n, err)
 	}
 	// Never reached: error (solder is stable).
-	s := MustGet("solder-indium")
+	s := SolderIndium
 	if _, err := s.CyclesToResistanceLimit(60, 2e5, 10*s.Resistance(2e5), 10000); err == nil {
 		t.Error("stable material should never hit the limit")
 	}

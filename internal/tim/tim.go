@@ -173,50 +173,68 @@ func (m *Material) WithHNC(reduction float64) Material {
 	return out
 }
 
-// library carries representative commercial TIMs plus the NANOPACK
-// development products with the paper's reported properties.
-var library = map[string]Material{
+// Canonical built-in TIMs: representative commercial products plus the
+// NANOPACK development products with the paper's reported properties.
+// The instances are exported so known materials are referenced by
+// identifier (compile-checked) instead of through a panicking MustGet;
+// Get remains for dynamic string-keyed lookup.
+var (
 	// Conventional products.
-	"grease-standard": {
+	GreaseStandard = Material{
 		Name: "grease-standard", K: 3.0, BLT0: 50e-6, P0: 1e5, N: 0.25,
 		BLTMin: 15e-6, Rc: units.KMm2PerW(4), Kind: "grease",
 		ElectricalRho: math.Inf(1),
-	},
-	"pad-gap-filler": {
+	}
+	PadGapFiller = Material{
 		Name: "pad-gap-filler", K: 1.5, BLT0: 500e-6, P0: 1e5, N: 0.05,
 		BLTMin: 200e-6, Rc: units.KMm2PerW(30), Kind: "pad",
 		ElectricalRho: math.Inf(1),
-	},
-	"epoxy-standard": {
+	}
+	EpoxyStandard = Material{
 		Name: "epoxy-standard", K: 1.2, BLT0: 60e-6, P0: 1e5, N: 0,
 		BLTMin: 40e-6, Rc: units.KMm2PerW(8), Kind: "adhesive",
 		ShearStrength: 10e6, ElectricalRho: math.Inf(1),
-	},
-	"solder-indium": {
+	}
+	SolderIndium = Material{
 		Name: "solder-indium", K: 86, BLT0: 100e-6, P0: 1e5, N: 0,
 		BLTMin: 50e-6, Rc: units.KMm2PerW(0.6), Kind: "solder",
 		ElectricalRho: 8.4e-8,
-	},
+	}
 	// NANOPACK products (paper §IV.B): silver flakes in mono-epoxy at
 	// 6 W/m·K and micro silver spheres in multi-epoxy at 9.5 W/m·K, both
 	// electrically conductive at 1e-4 Ω·cm class; shear 14 MPa.
-	"nanopack-Ag-flake-mono": {
+	NanopackAgFlakeMono = Material{
 		Name: "nanopack-Ag-flake-mono", K: 6.0, BLT0: 19e-6, P0: 1e5, N: 0,
 		BLTMin: 12e-6, Rc: units.KMm2PerW(1.5), Kind: "adhesive",
 		ShearStrength: 14e6, ElectricalRho: 1e-6, // 1e-4 Ω·cm
-	},
-	"nanopack-Ag-sphere-multi": {
+	}
+	NanopackAgSphereMulti = Material{
 		Name: "nanopack-Ag-sphere-multi", K: 9.5, BLT0: 19e-6, P0: 1e5, N: 0,
 		BLTMin: 12e-6, Rc: units.KMm2PerW(1.2), Kind: "adhesive",
 		ShearStrength: 12e6, ElectricalRho: 1e-6,
-	},
-	// CNT metal–polymer composite demonstrated at 20 W/m·K; processed to
-	// the project's sub-20 µm bond-line objective.
-	"nanopack-CNT-composite": {
+	}
+	// NanopackCNTComposite is the CNT metal–polymer composite demonstrated
+	// at 20 W/m·K; processed to the project's sub-20 µm bond-line
+	// objective.
+	NanopackCNTComposite = Material{
 		Name: "nanopack-CNT-composite", K: 20, BLT0: 18e-6, P0: 1e5, N: 0,
 		BLTMin: 10e-6, Rc: units.KMm2PerW(1.0), Kind: "adhesive",
 		ShearStrength: 9e6, ElectricalRho: 5e-6,
-	},
+	}
+)
+
+// library is the name-keyed index over the canonical instances above.
+var library = byName(
+	GreaseStandard, PadGapFiller, EpoxyStandard, SolderIndium,
+	NanopackAgFlakeMono, NanopackAgSphereMulti, NanopackCNTComposite,
+)
+
+func byName(ms ...Material) map[string]Material {
+	out := make(map[string]Material, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out
 }
 
 // Get returns the named TIM.
@@ -228,15 +246,6 @@ func Get(name string) (Material, error) {
 	return m, nil
 }
 
-// MustGet is Get but panics on unknown names.
-func MustGet(name string) Material {
-	m, err := Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Names returns the sorted built-in TIM names.
 func Names() []string {
 	out := make([]string, 0, len(library))
@@ -244,6 +253,15 @@ func Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// All returns the library TIMs sorted by name.
+func All() []Material {
+	out := make([]Material, 0, len(library))
+	for _, n := range Names() {
+		out = append(out, library[n])
+	}
 	return out
 }
 

@@ -111,7 +111,7 @@ func TestPercolationElectrical(t *testing.T) {
 }
 
 func TestMaterialBLTPressure(t *testing.T) {
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	// Higher pressure → thinner bond line, clamped at the filler limit.
 	b1 := g.BLT(0.5e5)
 	b2 := g.BLT(2e5)
@@ -123,14 +123,14 @@ func TestMaterialBLTPressure(t *testing.T) {
 		t.Errorf("BLT at extreme pressure = %v, want clamp to %v", b3, g.BLTMin)
 	}
 	// Cured adhesives (N=0) ignore pressure.
-	a := MustGet("epoxy-standard")
+	a := EpoxyStandard
 	if a.BLT(1e4) != a.BLT(1e6) {
 		t.Error("adhesive BLT should be pressure-independent")
 	}
 }
 
 func TestMaterialResistance(t *testing.T) {
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	r := g.Resistance(1e5)
 	want := g.BLT(1e5)/g.K + g.Rc
 	if !units.ApproxEqual(r, want, 1e-12) {
@@ -148,7 +148,7 @@ func TestMaterialResistance(t *testing.T) {
 func TestHNCReducesBLT(t *testing.T) {
 	// NANOPACK result: HNC reduces final bond line by >20% → resistance
 	// drops correspondingly.
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	h := g.WithHNC(0.22)
 	if !units.ApproxEqual(h.BLT(1e5), 0.78*g.BLT(1e5), 1e-9) {
 		t.Errorf("HNC BLT = %v, want 22%% below %v", h.BLT(1e5), g.BLT(1e5))
@@ -171,27 +171,26 @@ func TestLibraryAndTargets(t *testing.T) {
 	if len(Names()) < 6 {
 		t.Fatalf("library too small: %v", Names())
 	}
-	for _, n := range Names() {
-		m := MustGet(n)
+	for _, m := range All() {
 		if m.K <= 0 || m.BLT0 <= 0 {
-			t.Errorf("%s: invalid entry", n)
+			t.Errorf("%s: invalid entry", m.Name)
 		}
 	}
 	// The CNT composite meets the full NANOPACK objective set.
-	cnt := MustGet("nanopack-CNT-composite")
+	cnt := NanopackCNTComposite
 	kOK, rOK, bltOK := cnt.MeetsNanopackTarget(2e5)
 	if !kOK || !rOK || !bltOK {
 		t.Errorf("CNT composite should meet all targets: k=%v r=%v blt=%v", kOK, rOK, bltOK)
 	}
 	// The standard grease does not meet the conductivity target.
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	kOK, _, _ = g.MeetsNanopackTarget(2e5)
 	if kOK {
 		t.Error("standard grease should fail the 20 W/m·K target")
 	}
 	// NANOPACK adhesives beat the standard epoxy's resistance.
-	ag := MustGet("nanopack-Ag-flake-mono")
-	std := MustGet("epoxy-standard")
+	ag := NanopackAgFlakeMono
+	std := EpoxyStandard
 	if ag.Resistance(2e5) >= std.Resistance(2e5) {
 		t.Error("NANOPACK adhesive should beat standard epoxy")
 	}
@@ -214,17 +213,14 @@ func TestGetUnknownAndRegister(t *testing.T) {
 	if _, err := Get("custom"); err != nil {
 		t.Error("registered TIM not found")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustGet should panic")
-		}
-	}()
-	MustGet("vaporware")
+	if _, err := Get("vaporware"); err == nil {
+		t.Error("unknown TIM should error")
+	}
 }
 
 func TestD5470SingleMeasurement(t *testing.T) {
 	tester := NewD5470(42)
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	m, err := tester.Measure(&g)
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +241,7 @@ func TestD5470CampaignAccuracy(t *testing.T) {
 	// The NANOPACK tester claims: ±1 K·mm²/W resistance accuracy and
 	// ±2 µm thickness.  A 200-shot campaign must stay inside both.
 	tester := NewD5470(7)
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	stats, err := tester.RunCampaign(&g, 200)
 	if err != nil {
 		t.Fatal(err)
@@ -271,14 +267,13 @@ func TestD5470DiscriminatesTIMs(t *testing.T) {
 	// The tester must rank materials by true resistance.
 	tester := NewD5470(3)
 	var prev float64
-	for i, name := range []string{"solder-indium", "nanopack-CNT-composite", "grease-standard", "pad-gap-filler"} {
-		m := MustGet(name)
+	for i, m := range []Material{SolderIndium, NanopackCNTComposite, GreaseStandard, PadGapFiller} {
 		meas, err := tester.Measure(&m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if i > 0 && meas.RMeasured <= prev {
-			t.Errorf("%s measured %v, should exceed previous %v", name, meas.RMeasured, prev)
+			t.Errorf("%s measured %v, should exceed previous %v", m.Name, meas.RMeasured, prev)
 		}
 		prev = meas.RMeasured
 	}
@@ -287,7 +282,7 @@ func TestD5470DiscriminatesTIMs(t *testing.T) {
 func TestD5470Validation(t *testing.T) {
 	tester := NewD5470(1)
 	tester.SensorsPerBar = 1
-	g := MustGet("grease-standard")
+	g := GreaseStandard
 	if _, err := tester.Measure(&g); err == nil {
 		t.Error("too few sensors should error")
 	}

@@ -215,6 +215,8 @@ func (hp *HeatPipe) Limits(T float64) (Limits, error) {
 
 // MaxPower returns the governing transport limit at temperature T and the
 // limiting mechanism's name.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (hp *HeatPipe) MaxPower(T float64) (float64, string, error) {
 	lims, err := hp.Limits(T)
 	if err != nil {
@@ -228,6 +230,8 @@ func (hp *HeatPipe) MaxPower(T float64) (float64, string, error) {
 // temperature T carrying power q: wall conduction in/out, radial wick
 // conduction in/out, and the (tiny) vapour temperature drop.  Returns an
 // error if q exceeds the governing limit (dry-out).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (hp *HeatPipe) Resistance(T, q float64) (float64, error) {
 	if err := hp.Validate(); err != nil {
 		return 0, err
@@ -258,6 +262,8 @@ func (hp *HeatPipe) Resistance(T, q float64) (float64, error) {
 }
 
 // Conductance returns 1/Resistance, in W/K.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (hp *HeatPipe) Conductance(T, q float64) (float64, error) {
 	r, err := hp.Resistance(T, q)
 	if err != nil {
@@ -276,9 +282,8 @@ func SelectFluid(Tmin, Tmax float64, aluminiumEnvelope bool) (*fluids.Fluid, err
 	}
 	var best *fluids.Fluid
 	bestMerit := 0.0
-	for _, name := range fluids.Names() {
-		f := fluids.MustGet(name)
-		if aluminiumEnvelope && name == "water" {
+	for _, f := range fluids.All() {
+		if aluminiumEnvelope && f.Name == "water" {
 			continue
 		}
 		if Tmin < f.FreezeT+10 { // 10 K freeze margin

@@ -73,6 +73,8 @@ func (l *LoopHeatPipe) Validate() error {
 // MaxPower returns the capillary transport limit at vapour temperature T:
 // the power at which the loop pressure drop (wick + liquid line + vapour
 // line + gravity head) exhausts the wick's capillary pressure.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (l *LoopHeatPipe) MaxPower(T float64) (float64, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
@@ -100,6 +102,8 @@ func (l *LoopHeatPipe) MaxPower(T float64) (float64, error) {
 // (K/W) at vapour temperature T carrying power q, including the
 // variable-conductance regime at low power.  Dry-out (q above MaxPower)
 // and failure to start (q below StartupPower) are errors.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (l *LoopHeatPipe) Resistance(T, q float64) (float64, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
@@ -143,7 +147,7 @@ func (l *LoopHeatPipe) VariableResistorFn(rOff float64) func(Ta, Tb, Q float64) 
 		if Q <= 0 {
 			return rOff
 		}
-		T := math.Max(Ta, 273.15)
+		T := math.Max(Ta, units.ZeroCelsius)
 		r, err := l.Resistance(T, Q)
 		if err != nil {
 			return rOff
@@ -154,6 +158,8 @@ func (l *LoopHeatPipe) VariableResistorFn(rOff float64) func(Ta, Tb, Q float64) 
 
 // TiltedElevation returns the evaporator elevation when a mounting of
 // baseline span lengthM is tilted by tiltDeg from horizontal.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func TiltedElevation(lengthM, tiltDeg float64) float64 {
 	return lengthM * math.Sin(tiltDeg*math.Pi/180)
 }

@@ -45,6 +45,8 @@ func (ts *Thermosyphon) Validate() error {
 // FloodingLimit returns the counter-current flooding (CCFL) limit in watts
 // at temperature T using the Wallis correlation with C = 0.725 for sharp
 // tubes.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (ts *Thermosyphon) FloodingLimit(T float64) (float64, error) {
 	if err := ts.Validate(); err != nil {
 		return 0, err
@@ -62,6 +64,8 @@ func (ts *Thermosyphon) FloodingLimit(T float64) (float64, error) {
 // DryoutLimit returns the film-dryout limit estimated from the liquid
 // charge: below a minimum fill the falling film breaks down.  Modelled as
 // the flooding limit scaled by the fill ratio margin.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (ts *Thermosyphon) DryoutLimit(T float64) (float64, error) {
 	fl, err := ts.FloodingLimit(T)
 	if err != nil {
@@ -73,6 +77,8 @@ func (ts *Thermosyphon) DryoutLimit(T float64) (float64, error) {
 }
 
 // MaxPower returns the governing thermosyphon limit and its name.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (ts *Thermosyphon) MaxPower(T float64) (float64, string, error) {
 	fl, err := ts.FloodingLimit(T)
 	if err != nil {
@@ -92,6 +98,8 @@ func (ts *Thermosyphon) MaxPower(T float64) (float64, string, error) {
 // temperature T and power q using pool-boiling (Rohsenow-class, lumped as
 // a constant film coefficient scaled with q^0.3) and filmwise condensation
 // (Nusselt) estimates.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (ts *Thermosyphon) Resistance(T, q float64) (float64, error) {
 	if err := ts.Validate(); err != nil {
 		return 0, err

@@ -13,7 +13,7 @@ import (
 // the COSEE seat electronic box (6.5 mm OD, sintered wick, ~30 cm long).
 func coseeHeatPipe() *HeatPipe {
 	return &HeatPipe{
-		Fluid:         fluids.MustGet("water"),
+		Fluid:         fluids.Water,
 		Wick:          SinteredCopperWick(0.75e-3),
 		LEvap:         0.1,
 		LAdia:         0.1,
@@ -29,7 +29,7 @@ func coseeHeatPipe() *HeatPipe {
 // structure).
 func coseeLHP() *LoopHeatPipe {
 	return &LoopHeatPipe{
-		Fluid:        fluids.MustGet("ammonia"),
+		Fluid:        fluids.Ammonia,
 		PoreRadius:   1.5e-6,
 		Permeability: 4e-14,
 		WickArea:     8e-4,
@@ -316,7 +316,7 @@ func TestTiltedElevation(t *testing.T) {
 
 func TestThermosyphon(t *testing.T) {
 	ts := &Thermosyphon{
-		Fluid:          fluids.MustGet("water"),
+		Fluid:          fluids.Water,
 		InnerRadius:    8e-3,
 		LEvap:          0.15,
 		LCond:          0.2,
@@ -348,7 +348,7 @@ func TestThermosyphon(t *testing.T) {
 
 func TestThermosyphonOrientation(t *testing.T) {
 	ts := &Thermosyphon{
-		Fluid:          fluids.MustGet("water"),
+		Fluid:          fluids.Water,
 		InnerRadius:    8e-3,
 		LEvap:          0.15,
 		LCond:          0.2,
@@ -363,7 +363,7 @@ func TestThermosyphonOrientation(t *testing.T) {
 func TestThermosyphonFillDerating(t *testing.T) {
 	mk := func(fill float64) *Thermosyphon {
 		return &Thermosyphon{
-			Fluid: fluids.MustGet("water"), InnerRadius: 8e-3,
+			Fluid: fluids.Water, InnerRadius: 8e-3,
 			LEvap: 0.15, LCond: 0.2, CondenserAbove: 0.3, FillRatio: fill,
 		}
 	}

@@ -59,6 +59,8 @@ func (vc *VaporChamber) PlateArea() float64 { return vc.Length * vc.Width }
 // (K/W) at vapour temperature T: wall + wick conduction over the source
 // footprint in, saturated vapour (isothermal), wick + wall out over the
 // full plate.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (vc *VaporChamber) Resistance(T, q float64) (float64, error) {
 	if err := vc.Validate(); err != nil {
 		return 0, err
@@ -78,6 +80,8 @@ func (vc *VaporChamber) Resistance(T, q float64) (float64, error) {
 
 // MaxFlux returns the evaporator boiling-limit flux (W/m²) at temperature
 // T: the classic thin-wick nucleation criterion.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (vc *VaporChamber) MaxFlux(T float64) (float64, error) {
 	if err := vc.Validate(); err != nil {
 		return 0, err
@@ -91,6 +95,8 @@ func (vc *VaporChamber) MaxFlux(T float64) (float64, error) {
 
 // MaxPower returns the governing limit: boiling at the source, or the
 // capillary limit of the radial wick return.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (vc *VaporChamber) MaxPower(T float64) (float64, string, error) {
 	if err := vc.Validate(); err != nil {
 		return 0, "", err
@@ -119,6 +125,8 @@ func (vc *VaporChamber) MaxPower(T float64) (float64, string, error) {
 // of the same dimensions would need to match the chamber's source-to-face
 // resistance with uniform far-face cooling h — the number vendors quote
 // (thousands of W/m·K).
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (vc *VaporChamber) EffectiveConductivity(T, q, h float64) (float64, error) {
 	rvc, err := vc.Resistance(T, q)
 	if err != nil {
@@ -174,6 +182,8 @@ func solidPlateResistance(aSrc, aPlate, t, k, h float64) (float64, error) {
 
 // SolidSpreaderResistance exposes the solid-plate comparison for benches:
 // the same geometry in a solid material of conductivity k.
+//
+// Non-finite (NaN/Inf) inputs propagate to the result (nanguard: propagates).
 func (vc *VaporChamber) SolidSpreaderResistance(k, h float64) (float64, error) {
 	return solidPlateResistance(vc.SourceArea, vc.PlateArea(), vc.Thickness, k, h)
 }

@@ -10,7 +10,7 @@ import (
 // cpuVaporChamber is a 60×60×3 mm water chamber under a 15×15 mm die.
 func cpuVaporChamber() *VaporChamber {
 	return &VaporChamber{
-		Fluid:         fluids.MustGet("water"),
+		Fluid:         fluids.Water,
 		Wick:          SinteredCopperWick(0.4e-3),
 		Length:        0.06,
 		Width:         0.06,

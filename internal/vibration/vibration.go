@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"aeropack/internal/mech"
+	"aeropack/internal/units"
 )
 
 // PSD is a one-sided acceleration power spectral density defined by
@@ -49,7 +50,7 @@ func (p *PSD) At(f float64) float64 {
 		return 0
 	}
 	i := sort.SearchFloat64s(p.F, f)
-	if i < len(p.F) && p.F[i] == f {
+	if i < len(p.F) && p.F[i] == f { //lint:allow floatcmp exact breakpoint hit from binary search
 		return p.G[i]
 	}
 	lo, hi := i-1, i
@@ -148,7 +149,7 @@ func ResponseRMS(p *PSD, fn, zeta float64) (float64, error) {
 	prevF := grid[0]
 	prevV := integrand(p, fn, zeta, prevF)
 	for _, f := range grid[1:] {
-		if f == prevF {
+		if f == prevF { //lint:allow floatcmp dedup of identical sorted grid points
 			continue
 		}
 		v := integrand(p, fn, zeta, f)
@@ -191,7 +192,7 @@ func BoardDisp3Sigma(gRMS, fn float64) float64 {
 	if fn <= 0 {
 		return math.Inf(1)
 	}
-	a := 3 * gRMS * 9.80665
+	a := units.GLevel(3 * gRMS)
 	w := 2 * math.Pi * fn
 	return a / (w * w)
 }
@@ -256,7 +257,7 @@ func HalfSineSRS(ampG, durS float64, freqs []float64, q float64) ([]float64, err
 				if tt < durS {
 					b = ampG * math.Sin(math.Pi*tt/durS)
 				}
-				return zd, -2*zeta*wn*zd - wn*wn*z - b*9.80665
+				return zd, -2*zeta*wn*zd - wn*wn*z - units.GLevel(b)
 			}
 			k1z, k1v := f(z, zd, t)
 			k2z, k2v := f(z+0.5*dt*k1z, zd+0.5*dt*k1v, t+0.5*dt)
@@ -265,8 +266,8 @@ func HalfSineSRS(ampG, durS float64, freqs []float64, q float64) ([]float64, err
 			z += dt / 6 * (k1z + 2*k2z + 2*k3z + k4z)
 			zd += dt / 6 * (k1v + 2*k2v + 2*k3v + k4v)
 			// Absolute acceleration in g.
-			zdd := -2*zeta*wn*zd - wn*wn*z - base*9.80665
-			abs := math.Abs(zdd/9.80665 + base)
+			zdd := -2*zeta*wn*zd - wn*wn*z - units.GLevel(base)
+			abs := math.Abs(units.ToGLevel(zdd) + base)
 			if abs > peak {
 				peak = abs
 			}

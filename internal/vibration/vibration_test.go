@@ -316,7 +316,7 @@ func TestDistributedRandomRMS(t *testing.T) {
 // whole test file depend on the materials package elsewhere.
 func materialsFor(t *testing.T) materials.Material {
 	t.Helper()
-	return materials.MustGet("Al6061")
+	return materials.Al6061
 }
 
 func TestPSDScaleProperty(t *testing.T) {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate: formatting, vet, aeropacklint, build,
+# race-enabled tests.  Any failure stops the script with a non-zero exit.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal examples ./*.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== aeropacklint"
+go run ./cmd/aeropacklint -q ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "verify.sh: all gates passed"
