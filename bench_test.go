@@ -378,7 +378,10 @@ func e7Article() *envtest.Article {
 		CompConst: 1.0, PosFactor: 1.0, FatigueExpB: 6.4,
 		PowerW: 60,
 		DeltaTAt: func(p float64) (float64, error) {
-			pt, err := cfg.Solve(p)
+			// Copy: Solve mutates its receiver via Defaults, and the
+			// parallel campaign calls this hook concurrently.
+			c := cfg
+			pt, err := c.Solve(p)
 			if err != nil {
 				return 0, err
 			}
@@ -1140,6 +1143,115 @@ func BenchmarkExt_SealedBox(b *testing.B) {
 			t.AddRow("capacity @ board ≤95 °C", fmt.Sprintf("%.0f W", pMax))
 			t.AddRow("same at FL400 (unpressurized)", fmt.Sprintf("%.0f W", pAlt))
 			emit("ext-sealed", t.String())
+		}
+	}
+}
+
+// ----------------------------------------------------------------------
+// Parallel-vs-serial pairs: each serial benchmark has a parallel twin
+// (workers = GOMAXPROCS) producing bitwise-identical results, so the
+// BENCH_*.json history tracks the worker-pool speedup directly.
+
+func parallelBenchPowers() []float64 {
+	return []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110}
+}
+
+func BenchmarkPar_Fig10SweepSerial(b *testing.B) {
+	powers := parallelBenchPowers()
+	for i := 0; i < b.N; i++ {
+		cfg := cosee.Config{UseLHP: true}
+		if _, err := cfg.Sweep(powers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_Fig10SweepParallel(b *testing.B) {
+	powers := parallelBenchPowers()
+	for i := 0; i < b.N; i++ {
+		cfg := cosee.Config{UseLHP: true}
+		if _, err := cfg.SweepParallel(powers, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_Fig10SummarySerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cosee.RunFig10(materials.Al6061); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_Fig10SummaryParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cosee.RunFig10Parallel(materials.Al6061, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_TechnologyMapSerial(b *testing.B) { benchTechMap(b, 1) }
+func BenchmarkPar_TechnologyMapParallel(b *testing.B) {
+	benchTechMap(b, 0)
+}
+
+func benchTechMap(b *testing.B, workers int) {
+	screen := core.DefaultScreen(core.Envelope{L: 0.4, W: 0.3, H: 0.2})
+	powers := []float64{50, 150, 400, 900}
+	fluxes := []float64{1, 10, 50, 100}
+	for i := 0; i < b.N; i++ {
+		if _, err := screen.TechnologyMap(powers, fluxes, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// bigSolverModel is large enough (48×48×8 = 18k cells, ≈126k nnz) that
+// the assembled operator clears linalg.MulVecParallelNNZ, so the
+// parallel twin exercises both sharded assembly and row-parallel
+// products.
+func bigSolverModel() *thermal.Model {
+	g, _ := mesh.Uniform(48, 48, 8, 0.16, 0.16, 0.012)
+	m, _ := thermal.NewModel(g, []materials.Material{materials.Al6061})
+	m.SetFaceBC(mesh.ZMin, thermal.BC{Kind: thermal.Convection, T: 300, H: 50})
+	m.AddVolumeSource(0.06, 0.1, 0.06, 0.1, 0, 0.012, 30)
+	return m
+}
+
+func BenchmarkPar_SolveSteadySerial(b *testing.B) {
+	m := bigSolverModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveSteady(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_SolveSteadyParallel(b *testing.B) {
+	m := bigSolverModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveSteady(&thermal.SolveOptions{Parallel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_CampaignSerial(b *testing.B) {
+	c := envtest.DefaultCampaign()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunAll(e7Article()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPar_CampaignParallel(b *testing.B) {
+	c := envtest.DefaultCampaign()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunAllParallel(e7Article(), 0); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

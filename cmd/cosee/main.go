@@ -25,6 +25,7 @@ func main() {
 	pmax := flag.Float64("pmax", 110, "maximum SEB power for the sweep, W")
 	step := flag.Float64("step", 10, "power step, W")
 	csv := flag.Bool("csv", false, "emit the sweep as CSV (power, dT per configuration) for plotting")
+	workers := flag.Int("workers", 1, "worker goroutines for sweeps (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 
 	mat, err := materials.Get(*structure)
@@ -41,6 +42,12 @@ func main() {
 		powers = append(powers, p)
 	}
 
+	sweep := func(cfg cosee.Config) ([]cosee.Point, error) {
+		if *workers == 1 {
+			return cfg.Sweep(powers)
+		}
+		return cfg.SweepParallel(powers, *workers)
+	}
 	configs := []struct {
 		name string
 		cfg  cosee.Config
@@ -57,7 +64,7 @@ func main() {
 		fmt.Println()
 		series := make([][]cosee.Point, len(configs))
 		for i, c := range configs {
-			pts, err := c.cfg.Sweep(powers)
+			pts, err := sweep(c.cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -74,7 +81,7 @@ func main() {
 		return
 	}
 	for _, c := range configs {
-		pts, err := c.cfg.Sweep(powers)
+		pts, err := sweep(c.cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -88,7 +95,12 @@ func main() {
 		fmt.Print(s.String())
 	}
 
-	sum, err := cosee.RunFig10(mat)
+	var sum *cosee.Fig10Summary
+	if *workers == 1 {
+		sum, err = cosee.RunFig10(mat)
+	} else {
+		sum, err = cosee.RunFig10Parallel(mat, *workers)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -63,6 +63,7 @@ func main() {
 	articlePath := flag.String("article", "", "path to the article JSON")
 	demo := flag.Bool("demo", false, "print an example article and exit")
 	extended := flag.Bool("extended", false, "add the DO-160 shock-pulse and sine-sweep tests")
+	workers := flag.Int("workers", 1, "worker goroutines for the campaign (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 
 	if *demo {
@@ -90,10 +91,15 @@ func main() {
 	}
 
 	var results []envtest.Result
-	if *extended {
+	switch {
+	case *extended && *workers == 1:
 		results, err = envtest.DefaultExtended().RunAll(article)
-	} else {
+	case *extended:
+		results, err = envtest.DefaultExtended().RunAllParallel(article, *workers)
+	case *workers == 1:
 		results, err = envtest.DefaultCampaign().RunAll(article)
+	default:
+		results, err = envtest.DefaultCampaign().RunAllParallel(article, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -155,7 +161,11 @@ func buildArticle(af *articleFile) (*envtest.Article, error) {
 
 func coseeHook(cfg cosee.Config) func(float64) (float64, error) {
 	return func(p float64) (float64, error) {
-		pt, err := cfg.Solve(p)
+		// Solve mutates its receiver (Defaults fills zero fields) and the
+		// parallel campaign calls this hook concurrently, so work on a
+		// private copy.
+		c := cfg
+		pt, err := c.Solve(p)
 		if err != nil {
 			return 0, err
 		}

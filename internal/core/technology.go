@@ -19,6 +19,7 @@ import (
 	"aeropack/internal/convection"
 	"aeropack/internal/fluids"
 	"aeropack/internal/materials"
+	"aeropack/internal/parallel"
 	"aeropack/internal/radiation"
 	"aeropack/internal/twophase"
 	"aeropack/internal/units"
@@ -291,4 +292,53 @@ func (s Screen) Recommend(powerW, fluxWCm2 float64) (Assessment, error) {
 		return Assessment{}, fmt.Errorf("core: no feasible cooling technology for %g W at %g W/cm²", powerW, fluxWCm2)
 	}
 	return as[0], nil
+}
+
+// TechCell is one entry of a technology map: the screen outcome at a
+// single (power, flux) grid point.
+type TechCell struct {
+	PowerW      float64
+	FluxWCm2    float64
+	Recommended Assessment // zero when Feasible is false
+	Feasible    bool
+}
+
+// TechnologyMap screens the full powers × fluxes grid — the E12 sweep —
+// across at most workers goroutines (<= 0 means GOMAXPROCS).  Screen is
+// a value receiver over immutable registries, so concurrent evaluation
+// is safe; results land at grid positions deterministically, making the
+// map identical at any worker count.  Cells where no technology is
+// feasible carry Feasible=false instead of failing the whole map; a
+// genuine screening error (invalid inputs) aborts with the error of the
+// lowest flattened grid index.  The returned slice is indexed
+// [powerIdx][fluxIdx].
+func (s Screen) TechnologyMap(powers, fluxes []float64, workers int) ([][]TechCell, error) {
+	type cellIn struct{ pi, fi int }
+	flat := make([]cellIn, 0, len(powers)*len(fluxes))
+	for pi := range powers {
+		for fi := range fluxes {
+			flat = append(flat, cellIn{pi, fi})
+		}
+	}
+	cells, err := parallel.Map(flat, workers, func(_ int, in cellIn) (TechCell, error) {
+		p, f := powers[in.pi], fluxes[in.fi]
+		cell := TechCell{PowerW: p, FluxWCm2: f}
+		as, err := s.SelectCooling(p, f)
+		if err != nil {
+			return cell, err
+		}
+		if len(as) > 0 && as[0].Feasible {
+			cell.Recommended = as[0]
+			cell.Feasible = true
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]TechCell, len(powers))
+	for pi := range powers {
+		out[pi] = cells[pi*len(fluxes) : (pi+1)*len(fluxes)]
+	}
+	return out, nil
 }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTechnologyMapSerialVsParallel(t *testing.T) {
+	s := DefaultScreen(Envelope{L: 0.4, W: 0.3, H: 0.2})
+	powers := []float64{50, 150, 400, 900}
+	fluxes := []float64{1, 10, 50, 100}
+	want, err := s.TechnologyMap(powers, fluxes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(powers) || len(want[0]) != len(fluxes) {
+		t.Fatalf("map shape %d×%d, want %d×%d", len(want), len(want[0]), len(powers), len(fluxes))
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := s.TechnologyMap(powers, fluxes, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: technology map differs from serial", w)
+		}
+	}
+}
+
+func TestTechnologyMapContent(t *testing.T) {
+	s := DefaultScreen(Envelope{L: 0.4, W: 0.3, H: 0.2})
+	m, err := s.TechnologyMap([]float64{50, 1e6}, []float64{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m[0][0].Feasible {
+		t.Error("50 W at 1 W/cm² should have a feasible technology")
+	}
+	if m[1][0].Feasible {
+		t.Error("1 MW in a shoebox should be infeasible, not an error")
+	}
+	if m[0][0].PowerW != 50 || m[0][0].FluxWCm2 != 1 {
+		t.Errorf("cell coordinates not recorded: %+v", m[0][0])
+	}
+
+	if _, err := s.TechnologyMap([]float64{-1}, []float64{1}, 2); err == nil {
+		t.Error("invalid power did not surface an error")
+	}
+}

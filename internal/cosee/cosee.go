@@ -26,6 +26,7 @@ import (
 	"aeropack/internal/convection"
 	"aeropack/internal/fluids"
 	"aeropack/internal/materials"
+	"aeropack/internal/parallel"
 	"aeropack/internal/radiation"
 	"aeropack/internal/thermal"
 	"aeropack/internal/tim"
@@ -385,6 +386,20 @@ func (c *Config) Sweep(powers []float64) ([]Point, error) {
 	return out, nil
 }
 
+// SweepParallel evaluates the same curve as Sweep across at most
+// workers goroutines (<= 0 means GOMAXPROCS).  Each power is solved on
+// a private copy of the configuration — Defaults mutates the receiver,
+// so sharing one Config between goroutines would race — and the points
+// land in input order, so the result is identical to Sweep's.
+func (c *Config) SweepParallel(powers []float64, workers int) ([]Point, error) {
+	cc := *c
+	cc.Defaults()
+	return parallel.Map(powers, workers, func(_ int, p float64) (Point, error) {
+		cfg := cc
+		return cfg.Solve(p)
+	})
+}
+
 // CapabilityAt returns the dissipated power at which the PCB sits
 // deltaT kelvin above ambient — the paper's "heat dissipation capability
 // at constant PCB temperature" metric (ΔT ≈ 60 °C in Fig. 10).
@@ -472,6 +487,60 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 		return nil, err
 	}
 	s.LHPPowerAt100W = p100.LHPPower
+	return &s, nil
+}
+
+// RunFig10Parallel computes the same summary as RunFig10 with the six
+// independent sub-studies (three capability bisections, three point
+// solves) evaluated concurrently across at most workers goroutines.
+// Every task builds its configurations from scratch, so nothing is
+// shared and the summary is identical to the serial one.
+func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary, error) {
+	tasks := []func() (float64, error){
+		func() (float64, error) {
+			c := Config{Structure: structure}
+			return c.CapabilityAt(60)
+		},
+		func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure}
+			return c.CapabilityAt(60)
+		},
+		func() (float64, error) {
+			c := Config{UseLHP: true, TiltDeg: 22, Structure: structure}
+			return c.CapabilityAt(60)
+		},
+		func() (float64, error) {
+			c := Config{Structure: structure}
+			p, err := c.Solve(40)
+			return p.DeltaTK, err
+		},
+		func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure}
+			p, err := c.Solve(40)
+			return p.DeltaTK, err
+		},
+		func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure}
+			p, err := c.Solve(100)
+			return p.LHPPower, err
+		},
+	}
+	vals, err := parallel.Map(tasks, workers, func(_ int, fn func() (float64, error)) (float64, error) {
+		return fn()
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Fig10Summary{
+		CapabilityNoLHP: vals[0],
+		CapabilityLHP:   vals[1],
+		CapabilityTilt:  vals[2],
+		DeltaTNoLHP40W:  vals[3],
+		DeltaTLHP40W:    vals[4],
+		LHPPowerAt100W:  vals[5],
+	}
+	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
+	s.CoolingAt40W = s.DeltaTNoLHP40W - s.DeltaTLHP40W
 	return &s, nil
 }
 

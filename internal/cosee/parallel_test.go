@@ -1,0 +1,61 @@
+package cosee
+
+import (
+	"testing"
+
+	"aeropack/internal/materials"
+)
+
+// TestSweepParallelGolden is the Fig. 10 serial-vs-parallel golden
+// comparison: every point of the parallel sweep must be bitwise
+// identical to the serial curve, for both configurations and at several
+// worker counts.
+func TestSweepParallelGolden(t *testing.T) {
+	powers := []float64{10, 25, 40, 60, 80, 100}
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"bare", Config{}},
+		{"lhp", Config{UseLHP: true}},
+		{"lhp-tilted-composite", Config{UseLHP: true, TiltDeg: 22, Structure: materials.CarbonComposite}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			serialCfg := cfg.c
+			want, err := serialCfg.Sweep(powers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 2, 4, 0} {
+				parCfg := cfg.c
+				got, err := parCfg.SweepParallel(powers, w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d points, want %d", w, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: point %d = %+v, want %+v (must be bitwise identical)",
+							w, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunFig10ParallelGolden(t *testing.T) {
+	want, err := RunFig10(materials.Al6061)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunFig10Parallel(materials.Al6061, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("parallel Fig. 10 summary %+v differs from serial %+v", *got, *want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"aeropack/internal/parallel"
 	"aeropack/internal/reliability"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
@@ -234,6 +235,36 @@ func (c Campaign) RunAll(a *Article) ([]Result, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunAllParallel executes the same four tests as RunAll across at most
+// workers goroutines (<= 0 means GOMAXPROCS), returning results in the
+// paper's order — identical to RunAll's on success, and with RunAll's
+// first error (lowest test index) on failure, though without the
+// partial-result prefix the serial driver returns.  The tests only read
+// the article, but they all call a.DeltaTAt, so that callback must be
+// safe for concurrent use (pure functions and the cosee solvers are).
+func (c Campaign) RunAllParallel(a *Article, workers int) ([]Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	runs := []func(*Article) (Result, error){
+		c.RunAcceleration, c.RunVibration, c.RunClimatic, c.RunThermalShock,
+	}
+	return parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
+		return run(a)
+	})
+}
+
+// QualifyFleet runs the campaign over a batch of articles, one worker
+// per article (bounded by workers; <= 0 means GOMAXPROCS).  Each
+// article's tests execute serially in the paper's order, so per-article
+// results are exactly RunAll's; the first failing article (by slice
+// index) aborts the batch with its error.
+func (c Campaign) QualifyFleet(articles []*Article, workers int) ([][]Result, error) {
+	return parallel.Map(articles, workers, func(_ int, a *Article) ([]Result, error) {
+		return c.RunAll(a)
+	})
 }
 
 // AllPass reports whether every result passed.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"aeropack/internal/parallel"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
 )
@@ -104,6 +105,23 @@ func (e Extended) RunAll(a *Article) ([]Result, error) {
 		return results, err
 	}
 	return append(results, sweep), nil
+}
+
+// RunAllParallel executes the six-test extended campaign across at most
+// workers goroutines, with the same ordering and concurrency contract
+// as Campaign.RunAllParallel (a.DeltaTAt must tolerate concurrent
+// calls).
+func (e Extended) RunAllParallel(a *Article, workers int) ([]Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	runs := []func(*Article) (Result, error){
+		e.RunAcceleration, e.RunVibration, e.RunClimatic, e.RunThermalShock,
+		e.RunShockPulse, e.RunSineSweep,
+	}
+	return parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
+		return run(a)
+	})
 }
 
 func mechQ(zeta float64) float64 {

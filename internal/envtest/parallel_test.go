@@ -1,0 +1,105 @@
+package envtest
+
+import (
+	"fmt"
+	"testing"
+
+	"aeropack/internal/cosee"
+)
+
+// parallelArticle builds a qualification article whose thermal hook is
+// safe for concurrent calls: the cosee configuration is copied per
+// invocation because Config.Solve mutates its receiver via Defaults.
+func parallelArticle(name string) *Article {
+	base := cosee.Config{UseLHP: true}
+	a := sebArticle()
+	a.Name = name
+	a.DeltaTAt = func(p float64) (float64, error) {
+		cfg := base
+		pt, err := cfg.Solve(p)
+		if err != nil {
+			return 0, err
+		}
+		return pt.DeltaTK, nil
+	}
+	return a
+}
+
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	c := DefaultCampaign()
+	a := parallelArticle("seb-parallel")
+	want, err := c.RunAll(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		got, err := c.RunAllParallel(a, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExtendedRunAllParallelMatchesSerial(t *testing.T) {
+	e := DefaultExtended()
+	a := parallelArticle("seb-extended-parallel")
+	want, err := e.RunAll(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RunAllParallel(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQualifyFleet(t *testing.T) {
+	c := DefaultCampaign()
+	articles := make([]*Article, 5)
+	for i := range articles {
+		articles[i] = parallelArticle(fmt.Sprintf("seb-%d", i))
+	}
+	batch, err := c.QualifyFleet(articles, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(articles) {
+		t.Fatalf("%d article results, want %d", len(batch), len(articles))
+	}
+	want, err := c.RunAll(articles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai, results := range batch {
+		if len(results) != len(want) {
+			t.Fatalf("article %d: %d results, want %d", ai, len(results), len(want))
+		}
+		for i := range want {
+			if results[i] != want[i] {
+				t.Fatalf("article %d result %d differs from serial RunAll", ai, i)
+			}
+		}
+	}
+
+	bad := parallelArticle("broken")
+	bad.MassKg = 0
+	if _, err := c.QualifyFleet([]*Article{articles[0], bad}, 4); err == nil {
+		t.Error("fleet with an invalid article did not surface an error")
+	}
+}

@@ -1,0 +1,209 @@
+// Package parallel is aeropack's stdlib-only worker-pool layer: bounded
+// fan-out over index ranges and slices, built for the embarrassingly
+// parallel sweeps the paper's evaluation consists of (power sweeps,
+// technology maps, qualification campaigns) and for the row-parallel
+// kernels underneath them.
+//
+// Every entry point takes a workers knob: values <= 0 resolve to
+// runtime.GOMAXPROCS(0), 1 selects the inline serial path (the
+// default-verifiable baseline), and larger values bound the number of
+// goroutines.  Work is distributed deterministically — contiguous
+// blocks for For/Blocks, in-order dispatch for Map — and results land
+// in exactly the positions a serial run would produce, so callers whose
+// items are independent get bitwise-identical output at any worker
+// count.
+//
+// A panic inside a worker is captured and re-raised in the caller's
+// goroutine once every worker has stopped; when several work items
+// panic, the one with the lowest block start (For/Blocks) or item index
+// (Map) wins, which for a deterministic body is the same panic a serial
+// loop would have surfaced.  The argument-contract panics of
+// internal/linalg therefore survive pool boundaries unchanged.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n itself when positive,
+// otherwise runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Ranges splits [0,n) into min(Workers(workers), n) contiguous
+// near-equal [lo,hi) blocks covering every index exactly once.  The
+// partition depends only on n and workers, never on scheduling, so the
+// same knob always yields the same block boundaries.
+func Ranges(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, w)
+	base, rem := n/w, n%w
+	lo := 0
+	for b := 0; b < w; b++ {
+		hi := lo + base
+		if b < rem {
+			hi++
+		}
+		out[b] = [2]int{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// capture records the panic from the lowest-indexed work item so the
+// re-raise is deterministic even when several workers panic at once.
+type capture struct {
+	mu  sync.Mutex
+	set bool
+	idx int
+	val any
+}
+
+func (c *capture) record(idx int, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.set || idx < c.idx {
+		c.set, c.idx, c.val = true, idx, val
+	}
+}
+
+// rethrow re-raises a captured worker panic in the caller's goroutine.
+func (c *capture) rethrow() {
+	if c.set {
+		panic(c.val) //lint:allow panicpolicy re-raising a captured worker panic keeps linalg contract checks observable across the pool
+	}
+}
+
+// Blocks runs fn(b, lo, hi) for each block b of Ranges(n, workers), one
+// goroutine per block (inline, without spawning, when a single block
+// suffices).  It returns only after every block has finished; a worker
+// panic is then re-raised in the caller.
+func Blocks(n, workers int, fn func(b, lo, hi int)) {
+	rs := Ranges(n, workers)
+	if len(rs) == 0 {
+		return
+	}
+	if len(rs) == 1 {
+		fn(0, rs[0][0], rs[0][1])
+		return
+	}
+	var pc capture
+	var wg sync.WaitGroup
+	wg.Add(len(rs))
+	for b, r := range rs {
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pc.record(lo, v)
+				}
+			}()
+			fn(b, lo, hi)
+		}(b, r[0], r[1])
+	}
+	wg.Wait()
+	pc.rethrow()
+}
+
+// For runs fn(i) for every i in [0,n) across at most Workers(workers)
+// goroutines with contiguous block assignment.  Each index is visited
+// exactly once; workers == 1 degenerates to the plain serial loop.
+func For(n, workers int, fn func(i int)) {
+	Blocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map evaluates fn over items with at most Workers(workers) concurrent
+// goroutines and returns the results in input order: out[i] is always
+// fn(i, items[i]).  Items are dispatched in index order and no new item
+// starts after a failure, so for a deterministic fn the returned error
+// is the one a serial scan would have hit first.  A worker panic is
+// re-raised in the caller after all workers stop; when both a panic and
+// an error occur, whichever has the lower item index wins.
+func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		pc      capture
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+	)
+	errIdx, firstErr := n, error(nil)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							pc.record(i, v)
+							stopped.Store(true)
+						}
+					}()
+					r, err := fn(i, items[i])
+					if err != nil {
+						mu.Lock()
+						if i < errIdx {
+							errIdx, firstErr = i, err
+						}
+						mu.Unlock()
+						stopped.Store(true)
+						return
+					}
+					out[i] = r
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pc.set && pc.idx < errIdx {
+		pc.rethrow()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	pc.rethrow()
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRangesCoverAndPartition(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {7, 3}, {100, 8}, {3, 10}, {6, 1}, {9, 0},
+	} {
+		rs := Ranges(tc.n, tc.workers)
+		seen := make([]bool, tc.n)
+		prev := 0
+		for _, r := range rs {
+			if r[0] != prev {
+				t.Fatalf("Ranges(%d,%d): block starts at %d, want %d", tc.n, tc.workers, r[0], prev)
+			}
+			if r[1] <= r[0] {
+				t.Fatalf("Ranges(%d,%d): empty block %v", tc.n, tc.workers, r)
+			}
+			for i := r[0]; i < r[1]; i++ {
+				seen[i] = true
+			}
+			prev = r[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("Ranges(%d,%d): blocks end at %d", tc.n, tc.workers, prev)
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("Ranges(%d,%d): index %d not covered", tc.n, tc.workers, i)
+			}
+		}
+		if tc.n > 0 && tc.workers > 0 && len(rs) > tc.workers {
+			t.Fatalf("Ranges(%d,%d): %d blocks exceed worker cap", tc.n, tc.workers, len(rs))
+		}
+	}
+}
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 101
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForSerialVsParallelEquivalence(t *testing.T) {
+	const n = 257
+	want := make([]float64, n)
+	For(n, 1, func(i int) { want[i] = float64(i) * 1.5 })
+	for _, workers := range []int{2, 4, 9} {
+		got := make([]float64, n)
+		For(n, workers, func(i int) { got[i] = float64(i) * 1.5 })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := v.(string); !ok || s != "linalg: contract violated" {
+					t.Fatalf("workers=%d: recovered %v, want original panic value", workers, v)
+				}
+			}()
+			For(64, workers, func(i int) {
+				if i == 17 {
+					panic("linalg: contract violated")
+				}
+			})
+		}()
+	}
+}
+
+func TestForPanicLowestBlockWins(t *testing.T) {
+	// Every block panics; the deterministic winner is the one from the
+	// lowest block, which is what a serial loop would surface first.
+	defer func() {
+		v := recover()
+		if v != "boom-0" {
+			t.Fatalf("recovered %v, want boom-0", v)
+		}
+	}()
+	Blocks(40, 4, func(b, lo, hi int) { panic(fmt.Sprintf("boom-%d", lo)) })
+}
+
+func TestMapOrderingAndEquivalence(t *testing.T) {
+	items := make([]int, 97)
+	for i := range items {
+		items[i] = i * 3
+	}
+	want, err := Map(items, 1, func(i, v int) (string, error) {
+		return fmt.Sprintf("%d:%d", i, v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Map(items, workers, func(i, v int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, v), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	items := make([]int, 64)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4, 8} {
+		_, err := Map(items, workers, func(i, _ int) (int, error) {
+			switch i {
+			case 11:
+				return 0, errLow
+			case 50:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestMapPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if v := recover(); v != "map-boom" {
+					t.Fatalf("workers=%d: recovered %v, want map-boom", workers, v)
+				}
+			}()
+			_, _ = Map(make([]int, 32), workers, func(i, _ int) (int, error) {
+				if i == 5 {
+					panic("map-boom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, 4, func(i, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"aeropack/internal/linalg"
 	"aeropack/internal/mesh"
+	"aeropack/internal/parallel"
 	"aeropack/internal/units"
 )
 
@@ -109,6 +110,24 @@ type SolveOptions struct {
 	Solver     string  // "cg" (default), "cg-jacobi", "cg-ssor", "bicgstab"
 	SSOROmega  float64 // relaxation for cg-ssor (default 1.2)
 	ReturnLast bool    // if true, return best-effort field on non-convergence
+
+	// Parallel enables slab-parallel FV assembly and row-parallel
+	// matrix-vector products.  Both paths are bitwise-identical to the
+	// serial ones (see DESIGN.md "Parallel execution"), but serial stays
+	// the default so the baseline remains trivially verifiable.
+	Parallel bool
+	// Workers bounds the worker count when Parallel is set; <= 0 means
+	// runtime.GOMAXPROCS.
+	Workers int
+}
+
+// workerCount resolves the assembly/kernel worker budget: 1 unless
+// Parallel is set.
+func (o *SolveOptions) workerCount() int {
+	if !o.Parallel {
+		return 1
+	}
+	return parallel.Workers(o.Workers)
 }
 
 func (o *SolveOptions) defaults(n int) {
@@ -153,11 +172,13 @@ func (m *Model) SolveSteady(opts *SolveOptions) (*Result, error) {
 		Tsurf[i] = Tinit
 	}
 
+	w := o.workerCount()
 	res := &Result{g: m.Grid}
 	var prev []float64
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIterations = outer + 1
-		a, b := m.assemble(Tsurf)
+		a, b := m.assemble(Tsurf, w)
+		a.SetWorkers(w)
 		t, stats, err := m.linSolve(a, b, prev, &o)
 		res.Iterations = stats.Iterations
 		if err != nil {
@@ -242,17 +263,14 @@ func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptio
 	}
 }
 
-// assemble builds the steady FV system A·T = b given the current surface
-// temperature estimate (for radiation linearisation).
-func (m *Model) assemble(Tsurf []float64) (*linalg.CSR, []float64) {
+// assembleInterior accumulates the interior-face conductances for the
+// k-slab range [k0,k1): series half-cell resistances (harmonic mean),
+// per direction.  Each cell owns its +x/+y/+z faces, so distinct k
+// ranges touch disjoint faces and the slabs can be assembled into
+// private builders concurrently.
+func (m *Model) assembleInterior(coo *linalg.COO, k0, k1 int) {
 	g := m.Grid
-	n := g.NumCells()
-	coo := linalg.NewCOO(n, n)
-	b := make([]float64, n)
-
-	// Interior face conductances: series half-cell resistances
-	// (harmonic mean), per direction.
-	for k := 0; k < g.Nz; k++ {
+	for k := k0; k < k1; k++ {
 		for j := 0; j < g.Ny; j++ {
 			for i := 0; i < g.Nx; i++ {
 				idx := g.Index(i, j, k)
@@ -260,31 +278,59 @@ func (m *Model) assemble(Tsurf []float64) (*linalg.CSR, []float64) {
 				if i+1 < g.Nx {
 					nIdx := g.Index(i+1, j, k)
 					area := g.DY(j) * g.DZ(k)
-					k1 := kDir(m.matAt(i, j, k), 0)
-					k2 := kDir(m.matAt(i+1, j, k), 0)
-					gcond := faceConductance(area, g.DX(i), k1, g.DX(i+1), k2)
+					k1x := kDir(m.matAt(i, j, k), 0)
+					k2x := kDir(m.matAt(i+1, j, k), 0)
+					gcond := faceConductance(area, g.DX(i), k1x, g.DX(i+1), k2x)
 					addPair(coo, idx, nIdx, gcond)
 				}
 				// +y neighbour.
 				if j+1 < g.Ny {
 					nIdx := g.Index(i, j+1, k)
 					area := g.DX(i) * g.DZ(k)
-					k1 := kDir(m.matAt(i, j, k), 1)
-					k2 := kDir(m.matAt(i, j+1, k), 1)
-					gcond := faceConductance(area, g.DY(j), k1, g.DY(j+1), k2)
+					k1y := kDir(m.matAt(i, j, k), 1)
+					k2y := kDir(m.matAt(i, j+1, k), 1)
+					gcond := faceConductance(area, g.DY(j), k1y, g.DY(j+1), k2y)
 					addPair(coo, idx, nIdx, gcond)
 				}
 				// +z neighbour.
 				if k+1 < g.Nz {
 					nIdx := g.Index(i, j, k+1)
 					area := g.DX(i) * g.DY(j)
-					k1 := kDir(m.matAt(i, j, k), 2)
-					k2 := kDir(m.matAt(i, j, k+1), 2)
-					gcond := faceConductance(area, g.DZ(k), k1, g.DZ(k+1), k2)
+					k1z := kDir(m.matAt(i, j, k), 2)
+					k2z := kDir(m.matAt(i, j, k+1), 2)
+					gcond := faceConductance(area, g.DZ(k), k1z, g.DZ(k+1), k2z)
 					addPair(coo, idx, nIdx, gcond)
 				}
 			}
 		}
+	}
+}
+
+// assemble builds the steady FV system A·T = b given the current surface
+// temperature estimate (for radiation linearisation).  With workers > 1
+// the interior-face loop is sharded by k-slab into private COO builders
+// that are concatenated in slab order, which reproduces the serial
+// triplet insertion sequence exactly — the assembled CSR is
+// bitwise-identical at any worker count.
+func (m *Model) assemble(Tsurf []float64, workers int) (*linalg.CSR, []float64) {
+	g := m.Grid
+	n := g.NumCells()
+	coo := linalg.NewCOO(n, n)
+	b := make([]float64, n)
+
+	if workers > 1 && g.Nz > 1 {
+		rs := parallel.Ranges(g.Nz, workers)
+		parts := make([]*linalg.COO, len(rs))
+		parallel.Blocks(g.Nz, workers, func(bi, lo, hi int) {
+			part := linalg.NewCOO(n, n)
+			m.assembleInterior(part, lo, hi)
+			parts[bi] = part
+		})
+		for _, part := range parts {
+			coo.AppendAll(part)
+		}
+	} else {
+		m.assembleInterior(coo, 0, g.Nz)
 	}
 
 	// Boundary conditions.
@@ -472,11 +518,12 @@ func (m *Model) SolveTransient(T0 float64, opts *TransientOptions) (*Result, err
 		}
 	}
 
+	w := o.workerCount()
 	res := &Result{g: g}
 	rhs := make([]float64, n)
 	t := 0.0
 	for step := 0; step < opts.Steps; step++ {
-		a, b := m.assemble(T)
+		a, b := m.assemble(T, w)
 		// (C/dt + A)·T^{n+1} = C/dt·T^n + b — fold capacity into a copy of
 		// the assembled operator.
 		coo := linalg.NewCOO(n, n)
@@ -488,6 +535,7 @@ func (m *Model) SolveTransient(T0 float64, opts *TransientOptions) (*Result, err
 			rhs[i] = b[i] + cap[i]/opts.Dt*T[i]
 		}
 		sys := coo.ToCSR()
+		sys.SetWorkers(w)
 		Tn, stats, err := m.linSolve(sys, rhs, T, &o)
 		res.Iterations = stats.Iterations
 		if err != nil {

@@ -25,4 +25,7 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== go test -race -cpu=1,4 (parallel kernels)"
+go test -race -cpu=1,4 ./internal/parallel ./internal/linalg ./internal/thermal
+
 echo "verify.sh: all gates passed"
