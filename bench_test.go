@@ -25,6 +25,7 @@ import (
 	"aeropack/internal/mech"
 	"aeropack/internal/mesh"
 	"aeropack/internal/nanopack"
+	"aeropack/internal/obs"
 	"aeropack/internal/reliability"
 	"aeropack/internal/report"
 	"aeropack/internal/thermal"
@@ -193,6 +194,73 @@ func BenchmarkE2_ThreeLevels(b *testing.B) {
 	}
 }
 
+// benchRegistry swaps a private metrics registry in for one benchmark so
+// the solver telemetry accumulated during the run can be read back and
+// reported per op, without polluting (or being polluted by) whatever the
+// process-global registry holds.
+func benchRegistry(b *testing.B) *obs.Registry {
+	reg := obs.NewRegistry()
+	prev := obs.SetDefault(reg)
+	b.Cleanup(func() { obs.SetDefault(prev) })
+	return reg
+}
+
+// reportSolverWork converts the run's accumulated linalg telemetry into
+// custom benchmark metrics: iterative-solver iterations per op and the
+// mean converged residual.
+func reportSolverWork(b *testing.B, reg *obs.Registry) {
+	iters := reg.Counter("linalg_solver_iterations_total").Value()
+	b.ReportMetric(float64(iters)/float64(b.N), "solver_iters/op")
+	// The mean converged residual is ~1e-10; report its log10 because the
+	// bench text format rounds metrics to seven decimals (1e-10 → 0).
+	if h := reg.Histogram("linalg_residual", obs.ExpBuckets(1e-16, 10, 18)); h.Count() > 0 && h.Mean() > 0 {
+		b.ReportMetric(math.Log10(h.Mean()), "log10_residual")
+	}
+}
+
+// The three simulation levels individually (the composite study is
+// BenchmarkE2_ThreeLevels above): level 1 is closed-form and runs no
+// iterative solver, level 2 is the finite-volume board (CG), level 3 the
+// component network on the level-2 field.
+func BenchmarkE2_Level1(b *testing.B) {
+	screen := core.DefaultScreen(core.Envelope{L: 0.5, W: 0.3, H: 0.26})
+	reg := benchRegistry(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e2Board().Level1(screen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSolverWork(b, reg)
+}
+
+func BenchmarkE2_Level2(b *testing.B) {
+	screen := core.DefaultScreen(core.Envelope{L: 0.5, W: 0.3, H: 0.26})
+	reg := benchRegistry(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e2Board().Level2(screen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSolverWork(b, reg)
+}
+
+func BenchmarkE2_Level3(b *testing.B) {
+	screen := core.DefaultScreen(core.Envelope{L: 0.5, W: 0.3, H: 0.26})
+	board := e2Board()
+	l2, err := board.Level2(screen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := benchRegistry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := board.Level3(l2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSolverWork(b, reg)
+}
+
 // ----------------------------------------------------------------------
 // E3 (Figs. 5–6): cooling-mode survey and the module power trend.
 
@@ -289,6 +357,7 @@ func BenchmarkE4_HotSpotAirflow(b *testing.B) {
 
 func BenchmarkE5_Fig10(b *testing.B) {
 	powers := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110}
+	reg := benchRegistry(b)
 	for i := 0; i < b.N; i++ {
 		al := materials.Al6061
 		s, err := cosee.RunFig10(al)
@@ -338,6 +407,7 @@ func BenchmarkE5_Fig10(b *testing.B) {
 			}))
 		}
 	}
+	reportSolverWork(b, reg)
 }
 
 // ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ import (
 
 	"aeropack/internal/compact"
 	"aeropack/internal/core"
+	"aeropack/internal/obs"
 	"aeropack/internal/report"
 	"aeropack/internal/units"
 )
@@ -114,6 +115,8 @@ func main() {
 	doc := flag.Bool("doc", false, "emit the full packaging design document instead of the summary tables")
 	eqPath := flag.String("equipment", "", "path to a multi-board equipment JSON")
 	eqDemo := flag.Bool("equipment-demo", false, "print an example equipment spec and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
 	flag.Parse()
 
 	if *demo {
@@ -124,36 +127,45 @@ func main() {
 		fmt.Print(demoEquipment)
 		return
 	}
+	flush := obs.Setup(*tracePath, *metricsPath)
+	fail := func(code int, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if ferr := flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+		}
+		os.Exit(code)
+	}
 	if *eqPath != "" {
-		runEquipment(*eqPath, *ambient)
+		runEquipment(*eqPath, *ambient, fail)
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *specPath == "" {
-		fmt.Fprintln(os.Stderr, "aeropack: provide -spec <file>, -equipment <file>, -demo or -equipment-demo")
-		os.Exit(2)
+		fail(2, fmt.Errorf("aeropack: provide -spec <file>, -equipment <file>, -demo or -equipment-demo"))
 	}
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	var sf specFile
 	if err := json.Unmarshal(raw, &sf); err != nil {
-		fmt.Fprintf(os.Stderr, "aeropack: parsing %s: %v\n", *specPath, err)
-		os.Exit(1)
+		fail(1, fmt.Errorf("aeropack: parsing %s: %w", *specPath, err))
 	}
 	board, env, err := buildDesign(&sf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	screen := core.DefaultScreen(env)
 	screen.AmbientC = *ambient
 
 	rep, err := core.Study(board, screen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	if *doc {
 		fmt.Print(rep.Document())
@@ -161,7 +173,11 @@ func main() {
 		printReport(rep)
 	}
 	if !rep.Feasible {
-		os.Exit(3)
+		fail(3, nil)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -234,16 +250,14 @@ func printReport(rep *core.Report) {
 	}
 }
 
-func runEquipment(path string, ambient float64) {
+func runEquipment(path string, ambient float64, fail func(code int, err error)) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	var ef equipmentFile
 	if err := json.Unmarshal(raw, &ef); err != nil {
-		fmt.Fprintf(os.Stderr, "aeropack: parsing %s: %v\n", path, err)
-		os.Exit(1)
+		fail(1, fmt.Errorf("aeropack: parsing %s: %w", path, err))
 	}
 	eq := &core.Equipment{
 		Name:       ef.Name,
@@ -256,8 +270,7 @@ func runEquipment(path string, ambient float64) {
 	for i := range ef.Boards {
 		b, _, err := buildDesign(&ef.Boards[i])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		eq.Boards = append(eq.Boards, b)
 	}
@@ -265,11 +278,10 @@ func runEquipment(path string, ambient float64) {
 	screen.AmbientC = ambient
 	rep, err := core.StudyEquipment(eq, screen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	fmt.Print(rep.Document())
 	if !rep.Feasible {
-		os.Exit(3)
+		fail(3, nil)
 	}
 }

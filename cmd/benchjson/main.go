@@ -1,0 +1,59 @@
+// Command benchjson converts `go test -bench` text output into the
+// aeropack-bench/v1 JSON schema used by the BENCH_*.json perf-trajectory
+// files at the repository root.
+//
+// Usage:
+//
+//	go test -run - -bench . -benchmem . | benchjson -o BENCH_obs.json
+//	benchjson -in bench.txt              # JSON to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aeropack/internal/report"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file to read (default: stdin)")
+	out := flag.String("o", "", "JSON file to write (default: stdout)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	set, err := report.ParseBench(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		dst = f
+	}
+	if err := set.WriteJSON(dst); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cosee [-structure Al6061|CarbonComposite] [-tilt 22] [-pmax 110] [-step 10]
+//	      [-trace trace.json] [-metrics metrics.json]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"aeropack/internal/cosee"
 	"aeropack/internal/materials"
+	"aeropack/internal/obs"
 	"aeropack/internal/report"
 )
 
@@ -26,26 +28,35 @@ func main() {
 	step := flag.Float64("step", 10, "power step, W")
 	csv := flag.Bool("csv", false, "emit the sweep as CSV (power, dT per configuration) for plotting")
 	workers := flag.Int("workers", 1, "worker goroutines for sweeps (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
 	flag.Parse()
+
+	flush := obs.Setup(*tracePath, *metricsPath)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		if ferr := flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+		}
+		os.Exit(1)
+	}
 
 	mat, err := materials.Get(*structure)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *pmax <= 0 || *step <= 0 {
-		fmt.Fprintln(os.Stderr, "cosee: pmax and step must be positive")
-		os.Exit(1)
+		fail(fmt.Errorf("cosee: pmax and step must be positive"))
 	}
 	var powers []float64
 	for p := *step; p <= *pmax+1e-9; p += *step {
 		powers = append(powers, p)
 	}
 
+	// Sweeps always route through the pool layer so utilisation telemetry
+	// covers every run; workers == 1 takes the pool's serial path, whose
+	// results (and output) are identical to Sweep's.
 	sweep := func(cfg cosee.Config) ([]cosee.Point, error) {
-		if *workers == 1 {
-			return cfg.Sweep(powers)
-		}
 		return cfg.SweepParallel(powers, *workers)
 	}
 	configs := []struct {
@@ -66,8 +77,7 @@ func main() {
 		for i, c := range configs {
 			pts, err := sweep(c.cfg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			series[i] = pts
 		}
@@ -78,13 +88,16 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	for _, c := range configs {
 		pts, err := sweep(c.cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		s := &report.Series{Name: "Fig. 10 — " + c.name,
 			XLabel: "SEB power (W)", YLabel: "Tpcb − Tair (K)"}
@@ -95,15 +108,9 @@ func main() {
 		fmt.Print(s.String())
 	}
 
-	var sum *cosee.Fig10Summary
-	if *workers == 1 {
-		sum, err = cosee.RunFig10(mat)
-	} else {
-		sum, err = cosee.RunFig10Parallel(mat, *workers)
-	}
+	sum, err := cosee.RunFig10Parallel(mat, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	t := report.NewTable("Headline summary ("+mat.Name+")", "quantity", "value")
 	t.AddRow("capability without LHP @ΔT=60K", fmt.Sprintf("%.1f W", sum.CapabilityNoLHP))
@@ -113,4 +120,8 @@ func main() {
 	t.AddRow("PCB cooling at 40 W", fmt.Sprintf("%.1f K", sum.CoolingAt40W))
 	t.AddRow("LHP power at 100 W SEB", fmt.Sprintf("%.1f W", sum.LHPPowerAt100W))
 	fmt.Print(t.String())
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

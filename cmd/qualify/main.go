@@ -18,6 +18,7 @@ import (
 
 	"aeropack/internal/cosee"
 	"aeropack/internal/envtest"
+	"aeropack/internal/obs"
 	"aeropack/internal/report"
 )
 
@@ -64,30 +65,38 @@ func main() {
 	demo := flag.Bool("demo", false, "print an example article and exit")
 	extended := flag.Bool("extended", false, "add the DO-160 shock-pulse and sine-sweep tests")
 	workers := flag.Int("workers", 1, "worker goroutines for the campaign (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
 	flag.Parse()
 
 	if *demo {
 		fmt.Print(demoArticle)
 		return
 	}
+	flush := obs.Setup(*tracePath, *metricsPath)
+	fail := func(code int, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if ferr := flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+		}
+		os.Exit(code)
+	}
 	if *articlePath == "" {
-		fmt.Fprintln(os.Stderr, "qualify: provide -article <file> or -demo")
-		os.Exit(2)
+		fail(2, fmt.Errorf("qualify: provide -article <file> or -demo"))
 	}
 	raw, err := os.ReadFile(*articlePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	var af articleFile
 	if err := json.Unmarshal(raw, &af); err != nil {
-		fmt.Fprintf(os.Stderr, "qualify: parsing %s: %v\n", *articlePath, err)
-		os.Exit(1)
+		fail(1, fmt.Errorf("qualify: parsing %s: %w", *articlePath, err))
 	}
 	article, err := buildArticle(&af)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 
 	var results []envtest.Result
@@ -102,8 +111,7 @@ func main() {
 		results, err = envtest.DefaultCampaign().RunAllParallel(article, *workers)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	t := report.NewTable("Qualification — "+article.Name, "test", "result", "margin", "detail")
 	for _, r := range results {
@@ -115,9 +123,13 @@ func main() {
 	}
 	fmt.Print(t.String())
 	if !envtest.AllPass(results) {
-		os.Exit(3)
+		fail(3, nil)
 	}
 	fmt.Println("ALL TESTS PASSED")
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func buildArticle(af *articleFile) (*envtest.Article, error) {

@@ -8,6 +8,7 @@ import (
 	"aeropack/internal/materials"
 	"aeropack/internal/mech"
 	"aeropack/internal/mesh"
+	"aeropack/internal/obs"
 	"aeropack/internal/thermal"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
@@ -143,28 +144,17 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.Start(nil, "core.Study")
+	defer sp.End()
+	sp.Attr("board", b.Name)
 	rep := &Report{Board: b}
 
 	// ---- Level 1: technology screen on power and peak flux.
-	peakFlux := 0.0
-	for _, c := range b.Components {
-		a := c.Pkg.Length * c.Pkg.Width
-		if a > 0 {
-			if f := units.ToWPerCm2(c.Power / a); f > peakFlux {
-				peakFlux = f
-			}
-		}
-	}
-	as, err := screen.SelectCooling(b.TotalPower(), peakFlux)
+	a1, peakFlux, err := b.level1(screen, sp)
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range as {
-		if a.Tech == b.EdgeCooling {
-			rep.Level1 = a
-			break
-		}
-	}
+	rep.Level1 = a1
 	if !rep.Level1.Feasible {
 		rep.Findings = append(rep.Findings,
 			fmt.Sprintf("level 1: %v infeasible for %.0f W / %.1f W/cm²",
@@ -172,7 +162,7 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	}
 
 	// ---- Level 2: finite-volume board model.
-	l2, err := b.level2(screen)
+	l2, err := b.level2(screen, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +173,7 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	}
 
 	// ---- Level 3: junction temperatures on local board temperature.
-	l3, err := b.level3(l2)
+	l3, err := b.level3(l2, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +184,7 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	}
 
 	// ---- Mechanical design in parallel.
-	mres, err := b.mechanical()
+	mres, err := b.mechanical(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -212,8 +202,69 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	return rep, nil
 }
 
+// level1 runs the technology screen on total power and peak component
+// flux, returning the assessment for the board's chosen cooling
+// technology plus the peak flux in W/cm².
+func (b *BoardDesign) level1(screen Screen, parent *obs.Span) (Assessment, float64, error) {
+	sp := obs.Start(parent, "core.Level1")
+	defer sp.End()
+	peakFlux := 0.0
+	for _, c := range b.Components {
+		a := c.Pkg.Length * c.Pkg.Width
+		if a > 0 {
+			if f := units.ToWPerCm2(c.Power / a); f > peakFlux {
+				peakFlux = f
+			}
+		}
+	}
+	as, err := screen.SelectCooling(b.TotalPower(), peakFlux)
+	if err != nil {
+		return Assessment{}, 0, err
+	}
+	var out Assessment
+	for _, a := range as {
+		if a.Tech == b.EdgeCooling {
+			out = a
+			break
+		}
+	}
+	return out, peakFlux, nil
+}
+
+// Level1 runs just the level-1 technology screen — the public per-pass
+// entry point behind the level benchmarks and partial re-runs.
+func (b *BoardDesign) Level1(screen Screen) (Assessment, error) {
+	b.defaults()
+	if err := b.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	a, _, err := b.level1(screen, nil)
+	return a, err
+}
+
+// Level2 runs just the level-2 FV board pass.
+func (b *BoardDesign) Level2(screen Screen) (*Level2Result, error) {
+	b.defaults()
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b.level2(screen, nil)
+}
+
+// Level3 runs just the level-3 junction pass on an existing level-2
+// result.
+func (b *BoardDesign) Level3(l2 *Level2Result) (*Level3Result, error) {
+	b.defaults()
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b.level3(l2, nil)
+}
+
 // level2 builds and solves the FV board model.
-func (b *BoardDesign) level2(screen Screen) (*Level2Result, error) {
+func (b *BoardDesign) level2(screen Screen, parent *obs.Span) (*Level2Result, error) {
+	sp := obs.Start(parent, "core.Level2")
+	defer sp.End()
 	nx := int(math.Max(16, b.LengthM/2.5e-3))
 	ny := int(math.Max(12, b.WidthM/2.5e-3))
 	if nx > 80 {
@@ -263,7 +314,7 @@ func (b *BoardDesign) level2(screen Screen) (*Level2Result, error) {
 			}
 		}
 	}
-	res, err := m.SolveSteady(nil)
+	res, err := m.SolveSteady(&thermal.SolveOptions{Span: sp})
 	if err != nil {
 		return nil, err
 	}
@@ -285,8 +336,11 @@ func (b *BoardDesign) level2(screen Screen) (*Level2Result, error) {
 
 // level3 computes junction temperatures by stacking each component's
 // compact model on its local board temperature.
-func (b *BoardDesign) level3(l2 *Level2Result) (*Level3Result, error) {
+func (b *BoardDesign) level3(l2 *Level2Result, parent *obs.Span) (*Level3Result, error) {
+	sp := obs.Start(parent, "core.Level3")
+	defer sp.End()
 	n := thermal.NewNetwork()
+	n.Obs = sp
 	airC := b.ChannelAirC
 	if b.EdgeCooling != ForcedAir {
 		airC = l2.MeanBoardC // stagnant internal air rides near the board
@@ -326,7 +380,9 @@ func (b *BoardDesign) level3(l2 *Level2Result) (*Level3Result, error) {
 }
 
 // mechanical runs the modal-placement and random-vibration pass.
-func (b *BoardDesign) mechanical() (*MechResult, error) {
+func (b *BoardDesign) mechanical(parent *obs.Span) (*MechResult, error) {
+	sp := obs.Start(parent, "core.Mechanical")
+	defer sp.End()
 	var fn float64
 	var err error
 	if b.DetailedMech {

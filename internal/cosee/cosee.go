@@ -26,6 +26,7 @@ import (
 	"aeropack/internal/convection"
 	"aeropack/internal/fluids"
 	"aeropack/internal/materials"
+	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/radiation"
 	"aeropack/internal/thermal"
@@ -353,10 +354,23 @@ type Point struct {
 
 // Solve evaluates the steady PCB-to-ambient temperature difference.
 func (c *Config) Solve(power float64) (Point, error) {
+	return c.solveObs(nil, power)
+}
+
+// solveObs is Solve with an explicit telemetry parent, so sweeps and
+// campaign runners can nest their solves under one span.
+func (c *Config) solveObs(parent *obs.Span, power float64) (Point, error) {
+	sp := obs.Start(parent, "cosee.Solve")
+	defer sp.End()
+	sp.AttrF("power_w", power)
+	if r := obs.Default(); r != nil {
+		r.Counter("cosee_solves_total").Inc()
+	}
 	n, err := c.BuildNetwork(power)
 	if err != nil {
 		return Point{}, err
 	}
+	n.Obs = sp
 	res, err := n.SolveSteadyTol(1e-3, 200)
 	if err != nil {
 		return Point{}, err
@@ -375,9 +389,12 @@ func (c *Config) Solve(power float64) (Point, error) {
 // Sweep evaluates the ΔT(P) curve over the given powers — one Fig. 10
 // series.
 func (c *Config) Sweep(powers []float64) ([]Point, error) {
+	sp := obs.Start(nil, "cosee.Sweep")
+	defer sp.End()
+	sp.AttrInt("points", len(powers))
 	out := make([]Point, 0, len(powers))
 	for _, p := range powers {
-		pt, err := c.Solve(p)
+		pt, err := c.solveObs(sp, p)
 		if err != nil {
 			return nil, err
 		}
@@ -392,11 +409,15 @@ func (c *Config) Sweep(powers []float64) ([]Point, error) {
 // so sharing one Config between goroutines would race — and the points
 // land in input order, so the result is identical to Sweep's.
 func (c *Config) SweepParallel(powers []float64, workers int) ([]Point, error) {
+	sp := obs.Start(nil, "cosee.Sweep")
+	defer sp.End()
+	sp.AttrInt("points", len(powers))
+	sp.AttrInt("workers", parallel.Workers(workers))
 	cc := *c
 	cc.Defaults()
 	return parallel.Map(powers, workers, func(_ int, p float64) (Point, error) {
 		cfg := cc
-		return cfg.Solve(p)
+		return cfg.solveObs(sp, p)
 	})
 }
 
@@ -404,18 +425,26 @@ func (c *Config) SweepParallel(powers []float64, workers int) ([]Point, error) {
 // deltaT kelvin above ambient — the paper's "heat dissipation capability
 // at constant PCB temperature" metric (ΔT ≈ 60 °C in Fig. 10).
 func (c *Config) CapabilityAt(deltaT float64) (float64, error) {
+	return c.capabilityObs(nil, deltaT)
+}
+
+// capabilityObs is CapabilityAt with an explicit telemetry parent.
+func (c *Config) capabilityObs(parent *obs.Span, deltaT float64) (float64, error) {
 	if deltaT <= 0 {
 		return 0, fmt.Errorf("cosee: deltaT must be positive")
 	}
+	sp := obs.Start(parent, "cosee.CapabilityAt")
+	defer sp.End()
+	sp.AttrF("deltaT_K", deltaT)
 	lo, hi := 1.0, 400.0
-	pLo, err := c.Solve(lo)
+	pLo, err := c.solveObs(sp, lo)
 	if err != nil {
 		return 0, err
 	}
 	if pLo.DeltaTK > deltaT {
 		return 0, fmt.Errorf("cosee: ΔT target %g K unreachable even at %g W", deltaT, lo)
 	}
-	pHi, err := c.Solve(hi)
+	pHi, err := c.solveObs(sp, hi)
 	if err != nil {
 		return 0, err
 	}
@@ -424,7 +453,7 @@ func (c *Config) CapabilityAt(deltaT float64) (float64, error) {
 	}
 	for i := 0; i < 60; i++ {
 		mid := 0.5 * (lo + hi)
-		pm, err := c.Solve(mid)
+		pm, err := c.solveObs(sp, mid)
 		if err != nil {
 			return 0, err
 		}
@@ -453,28 +482,31 @@ type Fig10Summary struct {
 // material (aluminium for the headline, carbon composite for §IV.A's
 // second test).
 func RunFig10(structure materials.Material) (*Fig10Summary, error) {
+	sp := obs.Start(nil, "cosee.RunFig10")
+	defer sp.End()
+	sp.Attr("structure", structure.Name)
 	base := Config{Structure: structure}
 	withLHP := Config{UseLHP: true, Structure: structure}
 	tilted := Config{UseLHP: true, TiltDeg: 22, Structure: structure}
 
 	var s Fig10Summary
 	var err error
-	if s.CapabilityNoLHP, err = base.CapabilityAt(60); err != nil {
+	if s.CapabilityNoLHP, err = base.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
-	if s.CapabilityLHP, err = withLHP.CapabilityAt(60); err != nil {
+	if s.CapabilityLHP, err = withLHP.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
-	if s.CapabilityTilt, err = tilted.CapabilityAt(60); err != nil {
+	if s.CapabilityTilt, err = tilted.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
 	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
 
-	p0, err := base.Solve(40)
+	p0, err := base.solveObs(sp, 40)
 	if err != nil {
 		return nil, err
 	}
-	p1, err := withLHP.Solve(40)
+	p1, err := withLHP.solveObs(sp, 40)
 	if err != nil {
 		return nil, err
 	}
@@ -482,7 +514,7 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 	s.DeltaTLHP40W = p1.DeltaTK
 	s.CoolingAt40W = p0.DeltaTK - p1.DeltaTK
 
-	p100, err := withLHP.Solve(100)
+	p100, err := withLHP.solveObs(sp, 100)
 	if err != nil {
 		return nil, err
 	}
@@ -496,32 +528,36 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 // Every task builds its configurations from scratch, so nothing is
 // shared and the summary is identical to the serial one.
 func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary, error) {
+	sp := obs.Start(nil, "cosee.RunFig10")
+	defer sp.End()
+	sp.Attr("structure", structure.Name)
+	sp.AttrInt("workers", parallel.Workers(workers))
 	tasks := []func() (float64, error){
 		func() (float64, error) {
 			c := Config{Structure: structure}
-			return c.CapabilityAt(60)
+			return c.capabilityObs(sp, 60)
 		},
 		func() (float64, error) {
 			c := Config{UseLHP: true, Structure: structure}
-			return c.CapabilityAt(60)
+			return c.capabilityObs(sp, 60)
 		},
 		func() (float64, error) {
 			c := Config{UseLHP: true, TiltDeg: 22, Structure: structure}
-			return c.CapabilityAt(60)
+			return c.capabilityObs(sp, 60)
 		},
 		func() (float64, error) {
 			c := Config{Structure: structure}
-			p, err := c.Solve(40)
+			p, err := c.solveObs(sp, 40)
 			return p.DeltaTK, err
 		},
 		func() (float64, error) {
 			c := Config{UseLHP: true, Structure: structure}
-			p, err := c.Solve(40)
+			p, err := c.solveObs(sp, 40)
 			return p.DeltaTK, err
 		},
 		func() (float64, error) {
 			c := Config{UseLHP: true, Structure: structure}
-			p, err := c.Solve(100)
+			p, err := c.solveObs(sp, 100)
 			return p.LHPPower, err
 		},
 	}

@@ -11,11 +11,28 @@ import (
 	"fmt"
 	"math"
 
+	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/reliability"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
 )
+
+// recordResults publishes campaign counters (envtest_tests_total,
+// envtest_test_failures_total) for the results of one campaign run; a
+// disabled registry costs one atomic load.
+func recordResults(results []Result) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("envtest_tests_total").Add(int64(len(results)))
+	for _, res := range results {
+		if !res.Pass {
+			r.Counter("envtest_test_failures_total").Inc()
+		}
+	}
+}
 
 // Article is the unit under test: enough of a structural/thermal
 // description to drive every qualification test.
@@ -224,16 +241,21 @@ func (c Campaign) RunAll(a *Article) ([]Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.Start(nil, "envtest.RunAll")
+	defer sp.End()
+	sp.Attr("article", a.Name)
 	var out []Result
 	for _, run := range []func(*Article) (Result, error){
 		c.RunAcceleration, c.RunVibration, c.RunClimatic, c.RunThermalShock,
 	} {
 		r, err := run(a)
 		if err != nil {
+			recordResults(out)
 			return out, err
 		}
 		out = append(out, r)
 	}
+	recordResults(out)
 	return out, nil
 }
 
@@ -248,12 +270,17 @@ func (c Campaign) RunAllParallel(a *Article, workers int) ([]Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.Start(nil, "envtest.RunAll")
+	defer sp.End()
+	sp.Attr("article", a.Name)
 	runs := []func(*Article) (Result, error){
 		c.RunAcceleration, c.RunVibration, c.RunClimatic, c.RunThermalShock,
 	}
-	return parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
+	out, err := parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
 		return run(a)
 	})
+	recordResults(out)
+	return out, err
 }
 
 // QualifyFleet runs the campaign over a batch of articles, one worker

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
@@ -95,15 +96,19 @@ func (e Extended) RunAll(a *Article) ([]Result, error) {
 	if err != nil {
 		return results, err
 	}
+	// The base four are already counted by Campaign.RunAll; record only
+	// the extended pair here.
 	shock, err := e.RunShockPulse(a)
 	if err != nil {
 		return results, err
 	}
+	recordResults([]Result{shock})
 	results = append(results, shock)
 	sweep, err := e.RunSineSweep(a)
 	if err != nil {
 		return results, err
 	}
+	recordResults([]Result{sweep})
 	return append(results, sweep), nil
 }
 
@@ -115,13 +120,18 @@ func (e Extended) RunAllParallel(a *Article, workers int) ([]Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.Start(nil, "envtest.RunAllExtended")
+	defer sp.End()
+	sp.Attr("article", a.Name)
 	runs := []func(*Article) (Result, error){
 		e.RunAcceleration, e.RunVibration, e.RunClimatic, e.RunThermalShock,
 		e.RunShockPulse, e.RunSineSweep,
 	}
-	return parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
+	out, err := parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
 		return run(a)
 	})
+	recordResults(out)
+	return out, err
 }
 
 func mechQ(zeta float64) float64 {

@@ -1,0 +1,78 @@
+package linalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IterPoint is one sample of a convergence history.
+type IterPoint struct {
+	Iteration int
+	Residual  float64
+}
+
+// ConvergenceLog is a fixed-capacity ring buffer of per-iteration
+// residuals.  Its Record method matches IterOptions.OnIteration, so a
+// failed or slow solve can be replayed:
+//
+//	log := linalg.NewConvergenceLog(256)
+//	x, stats, err := linalg.CGOpt(a, b, nil, &linalg.IterOptions{
+//		Tol: 1e-9, MaxIter: 5000, OnIteration: log.Record,
+//	})
+//	if err != nil { fmt.Print(log.String()) }
+//
+// When more iterations arrive than the buffer holds, the oldest samples
+// are overwritten — the tail of a long stagnating solve is what matters
+// for diagnosis.  A ConvergenceLog is not safe for concurrent use; give
+// each solve its own.
+type ConvergenceLog struct {
+	pts   []IterPoint
+	next  int
+	total int
+}
+
+// NewConvergenceLog returns a ring buffer holding the last capacity
+// samples (minimum 1).
+func NewConvergenceLog(capacity int) *ConvergenceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ConvergenceLog{pts: make([]IterPoint, 0, capacity)}
+}
+
+// Record appends one sample, overwriting the oldest once full.  Its
+// signature matches IterOptions.OnIteration.
+func (l *ConvergenceLog) Record(it int, residual float64) {
+	l.total++
+	if len(l.pts) < cap(l.pts) {
+		l.pts = append(l.pts, IterPoint{Iteration: it, Residual: residual})
+		return
+	}
+	l.pts[l.next] = IterPoint{Iteration: it, Residual: residual}
+	l.next = (l.next + 1) % cap(l.pts)
+}
+
+// Total returns how many samples were recorded overall, including any
+// that have been overwritten.
+func (l *ConvergenceLog) Total() int { return l.total }
+
+// Points returns the retained samples in chronological order.
+func (l *ConvergenceLog) Points() []IterPoint {
+	out := make([]IterPoint, 0, len(l.pts))
+	out = append(out, l.pts[l.next:]...)
+	out = append(out, l.pts[:l.next]...)
+	return out
+}
+
+// String renders the retained history as "iteration residual" rows,
+// ready for plotting or a bug report.
+func (l *ConvergenceLog) String() string {
+	var b strings.Builder
+	if dropped := l.total - len(l.pts); dropped > 0 {
+		fmt.Fprintf(&b, "# %d earlier samples overwritten\n", dropped)
+	}
+	for _, p := range l.Points() {
+		fmt.Fprintf(&b, "%6d  %.6e\n", p.Iteration, p.Residual)
+	}
+	return b.String()
+}

@@ -116,19 +116,52 @@ type IterStats struct {
 	Converged  bool
 }
 
+// IterOptions bundles the optional controls of an iterative solve beyond
+// the matrix and right-hand side.
+type IterOptions struct {
+	Tol     float64        // relative residual target
+	MaxIter int            // iteration cap
+	Prec    Preconditioner // nil means identity
+	// OnIteration, if non-nil, is invoked once per iteration with the
+	// 0-based iteration index and the relative residual reached at its
+	// end — the hook behind convergence traces (see ConvergenceLog).
+	// It runs on the solver goroutine; keep it cheap.
+	OnIteration func(it int, residual float64)
+}
+
 // CG solves the SPD system A·x = b with the preconditioned conjugate
 // gradient method.  x0 may be nil for a zero initial guess.  It iterates
 // until the relative residual falls below tol or maxIter is reached.
+//
+//lint:allow nanguard input validation (checkFinite) lives in CGOpt
 func CG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, IterStats, error) {
+	return CGOpt(a, b, x0, &IterOptions{Tol: tol, MaxIter: maxIter, Prec: prec})
+}
+
+// CGOpt is CG with the full option set (per-iteration convergence
+// callback included).  A nil options value selects identity
+// preconditioning with zero tolerance and cap, like CG would.
+func CGOpt(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, error) {
+	var opt IterOptions
+	if o != nil {
+		opt = *o
+	}
+	if err := checkFinite("CG", b, x0); err != nil {
+		return nil, IterStats{}, err
+	}
+	x, stats, err := cg(a, b, x0, &opt)
+	recordSolve("cg", stats, err)
+	return x, stats, err
+}
+
+func cg(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, error) {
+	prec, tol, maxIter := o.Prec, o.Tol, o.MaxIter
 	n := a.Rows
 	if a.Cols != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: CG requires a square matrix")
 	}
 	if len(b) != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: CG rhs length %d, want %d", len(b), n)
-	}
-	if err := checkFinite("CG", b, x0); err != nil {
-		return nil, IterStats{}, err
 	}
 	if prec == nil {
 		prec = IdentityPrec{}
@@ -165,6 +198,9 @@ func CG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) 
 		Axpy(-alpha, ap, r)
 		res := Norm2(r) / normB
 		stats.Residual = res
+		if o.OnIteration != nil {
+			o.OnIteration(it, res)
+		}
 		if res < tol {
 			stats.Converged = true
 			return x, stats, nil
@@ -181,16 +217,35 @@ func CG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) 
 }
 
 // BiCGSTAB solves the general (possibly unsymmetric) system A·x = b.
+//
+//lint:allow nanguard input validation (checkFinite) lives in BiCGSTABOpt
 func BiCGSTAB(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, IterStats, error) {
+	return BiCGSTABOpt(a, b, x0, &IterOptions{Tol: tol, MaxIter: maxIter, Prec: prec})
+}
+
+// BiCGSTABOpt is BiCGSTAB with the full option set (per-iteration
+// convergence callback included).
+func BiCGSTABOpt(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, error) {
+	var opt IterOptions
+	if o != nil {
+		opt = *o
+	}
+	if err := checkFinite("BiCGSTAB", b, x0); err != nil {
+		return nil, IterStats{}, err
+	}
+	x, stats, err := bicgstab(a, b, x0, &opt)
+	recordSolve("bicgstab", stats, err)
+	return x, stats, err
+}
+
+func bicgstab(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, error) {
+	prec, tol, maxIter := o.Prec, o.Tol, o.MaxIter
 	n := a.Rows
 	if a.Cols != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: BiCGSTAB requires a square matrix")
 	}
 	if len(b) != n {
 		return nil, IterStats{}, fmt.Errorf("linalg: BiCGSTAB rhs length %d, want %d", len(b), n)
-	}
-	if err := checkFinite("BiCGSTAB", b, x0); err != nil {
-		return nil, IterStats{}, err
 	}
 	if prec == nil {
 		prec = IdentityPrec{}
@@ -239,6 +294,9 @@ func BiCGSTAB(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter
 			Axpy(alpha, phat, x)
 			stats.Residual = res
 			stats.Converged = true
+			if o.OnIteration != nil {
+				o.OnIteration(it, res)
+			}
 			return x, stats, nil
 		}
 		prec.Apply(s, shat)
@@ -255,6 +313,9 @@ func BiCGSTAB(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter
 		}
 		res := Norm2(r) / normB
 		stats.Residual = res
+		if o.OnIteration != nil {
+			o.OnIteration(it, res)
+		}
 		if res < tol {
 			stats.Converged = true
 			return x, stats, nil

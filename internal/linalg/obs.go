@@ -1,0 +1,30 @@
+package linalg
+
+import "aeropack/internal/obs"
+
+// residualBuckets cover the convergence range of interest: 1e-16 (beyond
+// machine precision) up through 100 (a diverged solve), one decade per
+// bucket.
+var residualBuckets = obs.ExpBuckets(1e-16, 10, 18)
+
+// recordSolve publishes the post-solve metrics of one iterative solve to
+// the process-global registry.  When telemetry is disabled (the default)
+// the cost is a single atomic load.  Metric names are part of the
+// observability contract documented in DESIGN.md:
+//
+//	linalg_<method>_solves_total    counter, solves started
+//	linalg_solver_iterations_total  counter, iterations across methods
+//	linalg_solver_failures_total    counter, solves that returned an error
+//	linalg_residual                 histogram, relative residual at exit
+func recordSolve(method string, stats IterStats, err error) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("linalg_" + method + "_solves_total").Inc()
+	r.Counter("linalg_solver_iterations_total").Add(int64(stats.Iterations))
+	r.Histogram("linalg_residual", residualBuckets).Observe(stats.Residual)
+	if err != nil {
+		r.Counter("linalg_solver_failures_total").Inc()
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// HistogramSnapshot is the exported form of one histogram.
+type HistogramSnapshot struct {
+	// Buckets holds cumulative counts per upper bound; the final entry
+	// has Le = +Inf (encoded as the string "+Inf" in JSON).
+	Buckets []BucketSnapshot `json:"buckets"`
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+}
+
+// BucketSnapshot is one histogram bucket: the upper bound and the
+// cumulative count of samples ≤ that bound.
+type BucketSnapshot struct {
+	Le    jsonFloat `json:"le"`
+	Count int64     `json:"count"`
+}
+
+// jsonFloat marshals +Inf (which encoding/json rejects) as "+Inf".
+type jsonFloat float64
+
+// MarshalJSON encodes the value, mapping non-finite floats to strings.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, +1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	if math.IsNaN(v) {
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so metric snapshots
+// round-trip.
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"+Inf"`:
+		*f = jsonFloat(math.Inf(+1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// MetricsSnapshot is the JSON export schema of a Registry.
+type MetricsSnapshot struct {
+	Schema     string                       `json:"schema"` // "aeropack-metrics/v1"
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state.  Nil registries yield
+// an empty (but schema-stamped) snapshot.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	snap := &MetricsSnapshot{
+		Schema:     "aeropack-metrics/v1",
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	counters, gauges, hists := r.snapshot()
+	for _, n := range counters {
+		snap.Counters[n] = r.Counter(n).Value()
+	}
+	for _, n := range gauges {
+		snap.Gauges[n] = r.Gauge(n).Value()
+	}
+	for _, n := range hists {
+		h := r.Histogram(n, nil)
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		bounds := h.Bounds()
+		counts := h.BucketCounts()
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			le := math.Inf(+1)
+			if i < len(bounds) {
+				le = bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: jsonFloat(le), Count: cum})
+		}
+		snap.Histograms[n] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes the registry as indented JSON (map keys sort, so the
+// output is deterministic for a fixed state).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, hists := r.snapshot()
+	var b strings.Builder
+	for _, n := range counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.Counter(n).Value())
+	}
+	for _, n := range gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, r.Gauge(n).Value())
+	}
+	for _, n := range hists {
+		h := r.Histogram(n, nil)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		bounds := h.Bounds()
+		counts := h.BucketCounts()
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = fmt.Sprintf("%g", bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Setup enables the process-global tracer and/or metrics registry for a
+// command-line run: a non-empty tracePath turns on span collection, a
+// non-empty metricsPath turns on metrics.  The returned flush function
+// writes the collected telemetry to those files and should be called
+// once, on the way out of main, before any os.Exit.  Both paths empty
+// means telemetry stays disabled and flush is a cheap no-op.
+func Setup(tracePath, metricsPath string) (flush func() error) {
+	var tr *Trace
+	var reg *Registry
+	if tracePath != "" {
+		tr = NewTrace()
+		SetTracer(tr)
+	}
+	if metricsPath != "" {
+		reg = NewRegistry()
+		SetDefault(reg)
+	}
+	return func() error {
+		if tr != nil {
+			if err := writeFile(tracePath, tr.WriteChromeTrace); err != nil {
+				return fmt.Errorf("obs: writing trace: %w", err)
+			}
+		}
+		if reg != nil {
+			if err := writeFile(metricsPath, reg.WriteJSON); err != nil {
+				return fmt.Errorf("obs: writing metrics: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// writeFile creates path and streams write(w) into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,305 @@
+// Package obs is aeropack's stdlib-only observability layer: hierarchical
+// spans with monotonic timings and a Chrome trace-event exporter,
+// process-wide metrics (counters, gauges, fixed-bucket histograms) with
+// JSON and Prometheus text exporters, and per-iteration convergence
+// traces for the iterative solvers.
+//
+// The layer is built around two process-global, test-injectable handles:
+//
+//   - the metrics Registry (Default / SetDefault), nil by default, and
+//   - the span Tracer (Tracer / SetTracer), nil by default.
+//
+// Both default to disabled.  Every instrumented call site is guarded by a
+// single atomic pointer load plus a nil check, and every method on a nil
+// *Registry, *Counter, *Gauge, *Histogram, *Trace or *Span is a no-op, so
+// the disabled fast path costs ≈1 ns and zero allocations per guarded
+// call (see BenchmarkObsDisabled).  Instrumentation is therefore safe to
+// leave in the hot paths of the solvers permanently.
+//
+// The span structure produced for a fixed workload is deterministic —
+// span names, nesting and creation order depend only on the computation,
+// never on scheduling (parallel regions excepted) — so golden tests can
+// assert the span tree (see Trace.TreeString).  See DESIGN.md
+// "Observability" for the span taxonomy and canonical metric names.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.  No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.  No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can be set or accumulated.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.  No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates v into the gauge (atomic compare-and-swap loop).
+// No-op on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram.  Buckets are cumulative upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-accumulated
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.  No-op on a nil histogram; NaN samples are
+// counted in the +Inf bucket so a poisoned solve still shows up.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if math.IsNaN(v) {
+		idx = len(h.bounds)
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		cur := math.Float64frombits(old)
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket sample counts; the final entry is
+// the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Registry holds named metrics.  All methods are safe for concurrent use;
+// every accessor on a nil *Registry returns nil, which chains into the
+// no-op collector methods — the disabled fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil when the
+// registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil when the
+// registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil when
+// the registry is nil.  The bucket bounds are fixed on first creation;
+// later calls with different bounds return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// snapshot returns the sorted names of each metric kind for deterministic
+// export order.
+func (r *Registry) snapshot() (counters, gauges, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
+}
+
+// ExpBuckets returns n histogram bounds start, start·factor,
+// start·factor², … — the standard shape for latency and residual
+// distributions.  Invalid arguments yield a single-bucket fallback
+// rather than an error: bucket layout is a display concern, never worth
+// failing a solve over.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if !(start > 0) || !(factor > 1) || n < 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, start+2·width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || !(width > 0) {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// defaultRegistry is the process-global metrics registry; nil means
+// metrics are disabled (the default).
+var defaultRegistry atomic.Pointer[Registry]
+
+// Default returns the process-global registry, or nil when metrics are
+// disabled.  The single atomic load is the whole cost of a disabled
+// call site.
+func Default() *Registry { return defaultRegistry.Load() }
+
+// SetDefault installs r as the process-global registry (nil disables
+// metrics) and returns the previous registry so tests can restore it.
+func SetDefault(r *Registry) *Registry { return defaultRegistry.Swap(r) }

@@ -1,0 +1,510 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Note: these tests mutate the process-global registry/tracer handles, so
+// none of them may call t.Parallel.  Each saves the previous handle via
+// the SetDefault/SetTracer return value and restores it on cleanup.
+
+func swapGlobals(t *testing.T, reg *Registry, tr *Trace) {
+	t.Helper()
+	prevR := SetDefault(reg)
+	prevT := SetTracer(tr)
+	t.Cleanup(func() {
+		SetDefault(prevR)
+		SetTracer(prevT)
+	})
+}
+
+func TestObsCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solves")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("solves") != c {
+		t.Error("same name should return the same counter")
+	}
+
+	g := r.Gauge("util")
+	g.Set(0.25)
+	g.Add(0.5)
+	if got := g.Value(); math.Abs(got-0.75) > 1e-15 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); math.Abs(got-555.5) > 1e-12 {
+		t.Errorf("sum = %g, want 555.5", got)
+	}
+	if got, want := h.BucketCounts(), []int64{1, 1, 1, 1}; len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+	// NaN samples land in the +Inf bucket rather than corrupting an
+	// interior one.
+	h.Observe(math.NaN())
+	if got := h.BucketCounts()[3]; got != 2 {
+		t.Errorf("+Inf bucket after NaN = %d, want 2", got)
+	}
+}
+
+func TestObsNilSafety(t *testing.T) {
+	// Every collector method must be a no-op (not a panic) on nil.
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	if r.Counter("x").Value() != 0 {
+		t.Error("nil counter value should be 0")
+	}
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(1)
+	if r.Gauge("x").Value() != 0 {
+		t.Error("nil gauge value should be 0")
+	}
+	h := r.Histogram("x", []float64{1})
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil histogram should read as empty")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Error("nil histogram should have nil bounds/counts")
+	}
+	if snap := r.Snapshot(); snap.Schema != "aeropack-metrics/v1" {
+		t.Error("nil registry snapshot should still carry the schema")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+
+	var sp *Span
+	sp.Attr("k", "v")
+	sp.AttrF("k", 1.5)
+	sp.AttrInt("k", 2)
+	sp.End()
+	if child := sp.Start("child"); child != nil {
+		t.Error("child of nil span should be nil")
+	}
+	var tr *Trace
+	if tr.Len() != 0 || tr.TreeString() != "" || tr.SpanNames() != nil {
+		t.Error("nil trace accessors should read as empty")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil trace export should error rather than write an empty file")
+	}
+
+	// With both globals disabled, Start must return nil.
+	swapGlobals(t, nil, nil)
+	if s := Start(nil, "root"); s != nil {
+		t.Error("Start with tracing disabled should return nil")
+	}
+	if Default() != nil {
+		t.Error("Default should be nil after SetDefault(nil)")
+	}
+}
+
+func TestObsBuckets(t *testing.T) {
+	got := ExpBuckets(1e-3, 10, 4)
+	want := []float64{1e-3, 1e-2, 1e-1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*want[i] {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Degenerate arguments fall back to one bucket instead of failing.
+	for _, bad := range [][]float64{
+		ExpBuckets(0, 10, 4), ExpBuckets(1, 1, 4), ExpBuckets(1, 10, 0),
+	} {
+		if len(bad) != 1 {
+			t.Errorf("degenerate ExpBuckets = %v, want single bucket", bad)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	if lin[0] != 10 || lin[1] != 15 || lin[2] != 20 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	if bad := LinearBuckets(10, 0, 3); len(bad) != 1 {
+		t.Errorf("degenerate LinearBuckets = %v, want single bucket", bad)
+	}
+}
+
+func TestObsSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("linalg_cg_solves_total").Add(7)
+	r.Gauge("parallel_pool_utilization").Set(0.5)
+	h := r.Histogram("linalg_residual", []float64{1e-9, 1e-6})
+	h.Observe(5e-10)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if snap.Schema != "aeropack-metrics/v1" {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.Counters["linalg_cg_solves_total"] != 7 {
+		t.Errorf("counter = %d, want 7", snap.Counters["linalg_cg_solves_total"])
+	}
+	if snap.Gauges["parallel_pool_utilization"] != 0.5 {
+		t.Errorf("gauge = %g, want 0.5", snap.Gauges["parallel_pool_utilization"])
+	}
+	hs, ok := snap.Histograms["linalg_residual"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 2 {
+		t.Errorf("hist count = %d, want 2", hs.Count)
+	}
+	// Buckets are cumulative and the final le must round-trip as +Inf.
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(float64(last.Le), +1) {
+		t.Errorf("final bucket le = %v, want +Inf", last.Le)
+	}
+	if last.Count != 2 {
+		t.Errorf("final cumulative count = %d, want 2", last.Count)
+	}
+	if hs.Buckets[0].Count != 1 {
+		t.Errorf("first bucket cumulative count = %d, want 1", hs.Buckets[0].Count)
+	}
+}
+
+func TestObsJSONFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, math.Inf(+1), math.Inf(-1), math.NaN()} {
+		data, err := json.Marshal(jsonFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back jsonFloat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		got := float64(back)
+		if math.IsNaN(v) {
+			if !math.IsNaN(got) {
+				t.Errorf("NaN round-tripped to %v", got)
+			}
+		} else if got != v {
+			t.Errorf("%v round-tripped to %v", v, got)
+		}
+	}
+}
+
+func TestObsPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("envtest_tests_total").Add(4)
+	r.Gauge("thermal_matrix_nnz").Set(126000)
+	h := r.Histogram("parallel_task_seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE envtest_tests_total counter\nenvtest_tests_total 4\n",
+		"# TYPE thermal_matrix_nnz gauge\nthermal_matrix_nnz 126000\n",
+		"# TYPE parallel_task_seconds histogram\n",
+		"parallel_task_seconds_bucket{le=\"0.01\"} 1\n",
+		"parallel_task_seconds_bucket{le=\"+Inf\"} 2\n",
+		"parallel_task_seconds_sum 0.505\n",
+		"parallel_task_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObsSpanTreeDeterminism(t *testing.T) {
+	build := func() *Trace {
+		tr := NewTrace()
+		swapGlobals(t, nil, tr)
+		root := Start(nil, "cosee.Sweep")
+		root.AttrInt("points", 2)
+		for i := 0; i < 2; i++ {
+			solve := root.Start("cosee.Solve")
+			inner := solve.Start("thermal.Network.SolveSteady")
+			inner.End()
+			solve.End()
+		}
+		root.End()
+		return tr
+	}
+	a, b := build().TreeString(), build().TreeString()
+	if a != b {
+		t.Errorf("span tree not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	want := "cosee.Sweep\n" +
+		"  cosee.Solve\n" +
+		"    thermal.Network.SolveSteady\n" +
+		"  cosee.Solve\n" +
+		"    thermal.Network.SolveSteady\n"
+	if a != want {
+		t.Errorf("tree = \n%s\nwant\n%s", a, want)
+	}
+	tr := build()
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d, want 5", tr.Len())
+	}
+	names := tr.SpanNames()
+	wantNames := []string{"cosee.Solve", "cosee.Sweep", "thermal.Network.SolveSteady"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range wantNames {
+		if names[i] != wantNames[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], wantNames[i])
+		}
+	}
+}
+
+func TestObsChromeTrace(t *testing.T) {
+	tr := NewTrace()
+	swapGlobals(t, nil, tr)
+	root := Start(nil, "outer")
+	root.Attr("solver", "cg")
+	child := root.Start("inner")
+	child.End()
+	root.End()
+	orphan := Start(nil, "second-root")
+	orphan.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(file.TraceEvents))
+	}
+	if file.TraceEvents[0].Name != "outer" || file.TraceEvents[0].Args["solver"] != "cg" {
+		t.Errorf("first event = %+v", file.TraceEvents[0])
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %q has negative duration", ev.Name)
+		}
+	}
+	// Each root subtree gets its own thread lane.
+	if file.TraceEvents[0].Tid != file.TraceEvents[1].Tid {
+		t.Error("child should share its root's lane")
+	}
+	if file.TraceEvents[2].Tid == file.TraceEvents[0].Tid {
+		t.Error("second root should get its own lane")
+	}
+}
+
+func TestObsSetup(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	prevR, prevT := Default(), CurrentTracer()
+	t.Cleanup(func() {
+		SetDefault(prevR)
+		SetTracer(prevT)
+	})
+	flush := Setup(tracePath, metricsPath)
+	sp := Start(nil, "setup-span")
+	sp.End()
+	Default().Counter("setup_total").Inc()
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("setup-span")) {
+		t.Error("trace file missing the recorded span")
+	}
+	raw, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not a snapshot: %v", err)
+	}
+	if snap.Counters["setup_total"] != 1 {
+		t.Errorf("counter in file = %d, want 1", snap.Counters["setup_total"])
+	}
+
+	// Disabled Setup: no files, flush is a no-op.
+	noneTrace := filepath.Join(dir, "none-trace.json")
+	flush = Setup("", "")
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(noneTrace); !os.IsNotExist(err) {
+		t.Error("disabled Setup should not create files")
+	}
+}
+
+// TestObsConcurrent hammers one registry and one trace from many
+// goroutines; run under -race (verify.sh does, at -cpu=1,4) this is the
+// thread-safety gate for the whole package.
+func TestObsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace()
+	swapGlobals(t, r, tr)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				Default().Counter("ops_total").Inc()
+				Default().Gauge("depth").Add(1)
+				Default().Histogram("lat", []float64{1, 10}).Observe(float64(i % 20))
+				sp := Start(nil, "worker")
+				sp.AttrInt("i", i)
+				child := sp.Start("child")
+				child.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.Counter("ops_total").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("depth").Value(); got != float64(total) {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	if got := tr.Len(); got != int(2*total) {
+		t.Errorf("trace len = %d, want %d", got, 2*total)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchSink defeats dead-code elimination in the disabled-path benches.
+var benchSink int
+
+// BenchmarkObsDisabled measures the disabled fast path of one guarded
+// call site: the single atomic registry load plus nil check that leads
+// every instrumented region (`if reg := obs.Default(); reg != nil`).
+// The contract (DESIGN.md "Observability") is ≤1 ns and zero
+// allocations, which is what makes it safe to leave instrumentation in
+// the solver hot paths permanently.
+func BenchmarkObsDisabled(b *testing.B) {
+	prevR := SetDefault(nil)
+	prevT := SetTracer(nil)
+	b.Cleanup(func() {
+		SetDefault(prevR)
+		SetTracer(prevT)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if Default() != nil {
+			n++
+		}
+	}
+	benchSink = n
+}
+
+// BenchmarkObsDisabledCounter is the deeper disabled chain — a metric
+// update written without the leading registry guard, riding on the
+// nil-receiver no-ops instead (registry load, nil Counter, nil Inc).
+func BenchmarkObsDisabledCounter(b *testing.B) {
+	prevR := SetDefault(nil)
+	prevT := SetTracer(nil)
+	b.Cleanup(func() {
+		SetDefault(prevR)
+		SetTracer(prevT)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Default().Counter("linalg_solver_iterations_total").Inc()
+	}
+}
+
+// BenchmarkObsDisabledSpan is the disabled span path: Start on a nil
+// tracer plus the nil-safe annotation and End calls.
+func BenchmarkObsDisabledSpan(b *testing.B) {
+	prevR := SetDefault(nil)
+	prevT := SetTracer(nil)
+	b.Cleanup(func() {
+		SetDefault(prevR)
+		SetTracer(prevT)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Start(nil, "thermal.SolveSteady")
+		sp.AttrInt("cells", i)
+		sp.AttrF("residual", 1e-10)
+		sp.End()
+	}
+}
+
+// BenchmarkObsEnabledCounter is the enabled counterpart, for the
+// README's cost table: one registry map lookup plus an atomic add.
+func BenchmarkObsEnabledCounter(b *testing.B) {
+	prevR := SetDefault(NewRegistry())
+	b.Cleanup(func() { SetDefault(prevR) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Default().Counter("linalg_solver_iterations_total").Inc()
+	}
+}

@@ -95,8 +95,12 @@ func Blocks(n, workers int, fn func(b, lo, hi int)) {
 	if len(rs) == 0 {
 		return
 	}
+	po := startPoolObs(len(rs))
 	if len(rs) == 1 {
+		t0 := po.taskStart()
 		fn(0, rs[0][0], rs[0][1])
+		po.taskEnd(t0)
+		po.finish()
 		return
 	}
 	var pc capture
@@ -110,10 +114,13 @@ func Blocks(n, workers int, fn func(b, lo, hi int)) {
 					pc.record(lo, v)
 				}
 			}()
+			t0 := po.taskStart()
 			fn(b, lo, hi)
+			po.taskEnd(t0)
 		}(b, r[0], r[1])
 	}
 	wg.Wait()
+	po.finish()
 	pc.rethrow()
 }
 
@@ -145,14 +152,20 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 	if w > n {
 		w = n
 	}
+	po := startPoolObs(w)
 	if w == 1 {
 		for i, it := range items {
+			t0 := po.taskStart()
+			po.queueWait(t0)
 			r, err := fn(i, it)
+			po.taskEnd(t0)
 			if err != nil {
+				po.finish()
 				return nil, err
 			}
 			out[i] = r
 		}
+		po.finish()
 		return out, nil
 	}
 	var (
@@ -182,7 +195,10 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 							stopped.Store(true)
 						}
 					}()
+					t0 := po.taskStart()
+					po.queueWait(t0)
 					r, err := fn(i, items[i])
+					po.taskEnd(t0)
 					if err != nil {
 						mu.Lock()
 						if i < errIdx {
@@ -198,6 +214,7 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 		}()
 	}
 	wg.Wait()
+	po.finish()
 	if pc.set && pc.idx < errIdx {
 		pc.rethrow()
 	}

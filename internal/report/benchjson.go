@@ -1,0 +1,141 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchSet is the aeropack-bench/v1 schema: the machine-readable form of
+// one `go test -bench` run, the unit of the project's perf trajectory
+// (BENCH_*.json files at the repository root).
+type BenchSet struct {
+	Schema     string       `json:"schema"` // "aeropack-bench/v1"
+	GoOS       string       `json:"go_os,omitempty"`
+	GoArch     string       `json:"go_arch,omitempty"`
+	Package    string       `json:"package,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one benchmark result line.
+type BenchEntry struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// "-procs" suffix (e.g. "E5_Fig10").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the result line (the "-8" in
+	// "BenchmarkX-8"); 1 when absent.
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every additional "<value> <unit>" pair of the line:
+	// the standard B/op and allocs/op, plus any b.ReportMetric custom
+	// units (solver_iters/op, residual, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseBench parses `go test -bench` text output.  Header lines (goos,
+// goarch, pkg, cpu) fill the set's fields; each "Benchmark..." result
+// line becomes one entry; anything else (PASS, ok, test log output) is
+// ignored.  An output with zero benchmark lines is an error — it almost
+// always means the -bench pattern matched nothing.
+func ParseBench(r io.Reader) (*BenchSet, error) {
+	set := &BenchSet{Schema: "aeropack-bench/v1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			set.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			set.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			set.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			set.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			set.Benchmarks = append(set.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading bench output: %w", err)
+	}
+	if len(set.Benchmarks) == 0 {
+		return nil, fmt.Errorf("report: no benchmark result lines found")
+	}
+	return set, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkE5_Fig10-8  10  105544702 ns/op  12 B/op  3 allocs/op
+func parseBenchLine(line string) (BenchEntry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return BenchEntry{}, fmt.Errorf("report: malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchEntry{}, fmt.Errorf("report: bad iteration count in %q: %w", line, err)
+	}
+	e := BenchEntry{Name: name, Procs: procs, Iterations: iters}
+	// The rest is "<value> <unit>" pairs.
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return BenchEntry{}, fmt.Errorf("report: odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return BenchEntry{}, fmt.Errorf("report: bad value %q in %q: %w", pairs[i], line, err)
+		}
+		unit := pairs[i+1]
+		if unit == "ns/op" {
+			e.NsPerOp = v
+			continue
+		}
+		if e.Metrics == nil {
+			e.Metrics = make(map[string]float64)
+		}
+		e.Metrics[unit] = v
+	}
+	return e, nil
+}
+
+// WriteJSON writes the set as indented JSON (struct field order is
+// fixed and map keys sort, so output is deterministic).
+func (s *BenchSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadBenchJSON is the inverse of WriteJSON, for tooling that trends
+// BENCH_*.json files across commits.  It rejects snapshots whose schema
+// field is missing or unknown.
+func ReadBenchJSON(r io.Reader) (*BenchSet, error) {
+	var s BenchSet
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("report: parsing bench JSON: %w", err)
+	}
+	if s.Schema != "aeropack-bench/v1" {
+		return nil, fmt.Errorf("report: unsupported bench schema %q", s.Schema)
+	}
+	return &s, nil
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: aeropack
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkE2_Level2 	      16	  68514230 ns/op	        -9.189 log10_residual	        99.00 solver_iters/op
+BenchmarkE5_Fig10-8  	      66	  16314513 ns/op	     12736 solver_iters/op
+BenchmarkObsDisabled 	500000000	         0.6640 ns/op	       0 B/op	       0 allocs/op
+| some table row the harness printed |
+PASS
+ok  	aeropack	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Schema != "aeropack-bench/v1" {
+		t.Errorf("schema = %q", set.Schema)
+	}
+	if set.GoOS != "linux" || set.GoArch != "amd64" || set.Package != "aeropack" {
+		t.Errorf("headers = %q/%q/%q", set.GoOS, set.GoArch, set.Package)
+	}
+	if !strings.Contains(set.CPU, "Xeon") {
+		t.Errorf("cpu = %q", set.CPU)
+	}
+	if len(set.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(set.Benchmarks))
+	}
+
+	lvl2 := set.Benchmarks[0]
+	if lvl2.Name != "E2_Level2" || lvl2.Procs != 1 || lvl2.Iterations != 16 {
+		t.Errorf("entry 0 = %+v", lvl2)
+	}
+	if lvl2.NsPerOp != 68514230 {
+		t.Errorf("ns/op = %g", lvl2.NsPerOp)
+	}
+	if got := lvl2.Metrics["solver_iters/op"]; got != 99 {
+		t.Errorf("solver_iters/op = %g, want 99", got)
+	}
+	if got := lvl2.Metrics["log10_residual"]; math.Abs(got+9.189) > 1e-9 {
+		t.Errorf("log10_residual = %g, want -9.189", got)
+	}
+
+	// The -8 GOMAXPROCS suffix is split out of the name.
+	fig10 := set.Benchmarks[1]
+	if fig10.Name != "E5_Fig10" || fig10.Procs != 8 {
+		t.Errorf("entry 1 = %+v", fig10)
+	}
+
+	disabled := set.Benchmarks[2]
+	if disabled.NsPerOp != 0.664 {
+		t.Errorf("sub-ns value = %g", disabled.NsPerOp)
+	}
+	if disabled.Metrics["B/op"] != 0 || disabled.Metrics["allocs/op"] != 0 {
+		t.Errorf("benchmem metrics = %v", disabled.Metrics)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"no results":     "goos: linux\nPASS\nok aeropack 1s\n",
+		"short line":     "BenchmarkX 10\n",
+		"bad iterations": "BenchmarkX ten 5 ns/op\n",
+		"odd pairs":      "BenchmarkX 10 5 ns/op 3\n",
+		"bad value":      "BenchmarkX 10 five ns/op\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseBench(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	orig, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	back, err := ReadBenchJSON(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoder + lossless schema → byte-identical re-encode.
+	if buf2.String() != first {
+		t.Errorf("round-trip not byte-identical:\n%s\nvs\n%s", first, buf2.String())
+	}
+}
+
+func TestReadBenchJSONRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadBenchJSON(strings.NewReader(`{"schema":"other/v2","benchmarks":[]}`)); err == nil {
+		t.Error("expected schema rejection")
+	}
+	if _, err := ReadBenchJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("expected JSON error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"aeropack/internal/linalg"
+	"aeropack/internal/obs"
 )
 
 // Network is a lumped thermal resistance network — the "resistive network
@@ -24,6 +25,11 @@ type Network struct {
 	resistors []resistor
 	sources   map[int]float64
 	fixed     map[int]float64
+
+	// Obs, when non-nil, is the parent span under which the network
+	// solver records its telemetry.  When nil, the solver span attaches
+	// to the process-global tracer.
+	Obs *obs.Span
 }
 
 type resistor struct {
@@ -141,6 +147,11 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 	if maxIter <= 0 {
 		maxIter = 60
 	}
+
+	sp := obs.Start(n.Obs, "thermal.Network.SolveSteady")
+	sp.AttrInt("nodes", num)
+	sp.AttrInt("resistors", len(n.resistors))
+	defer sp.End()
 
 	rs := make([]float64, len(n.resistors))
 	for i, e := range n.resistors {

@@ -3,9 +3,11 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"aeropack/internal/linalg"
 	"aeropack/internal/mesh"
+	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/units"
 )
@@ -119,6 +121,18 @@ type SolveOptions struct {
 	// Workers bounds the worker count when Parallel is set; <= 0 means
 	// runtime.GOMAXPROCS.
 	Workers int
+
+	// Span, when non-nil, is the parent under which the solver's
+	// telemetry spans (thermal.SolveSteady → thermal.assemble /
+	// thermal.linSolve) are recorded.  When nil, the solver span attaches
+	// to the process-global tracer — and costs one atomic load when
+	// tracing is disabled.
+	Span *obs.Span
+	// OnIteration is forwarded to the linear solver (see
+	// linalg.IterOptions.OnIteration).  It fires for every inner
+	// iteration of every outer pass; pair with linalg.ConvergenceLog to
+	// capture convergence traces.
+	OnIteration func(it int, residual float64)
 }
 
 // workerCount resolves the assembly/kernel worker budget: 1 unless
@@ -162,6 +176,11 @@ func (m *Model) SolveSteady(opts *SolveOptions) (*Result, error) {
 	}
 	o.defaults(n)
 
+	sp := obs.Start(o.Span, "thermal.SolveSteady")
+	defer sp.End()
+	sp.AttrInt("cells", n)
+	sp.Attr("solver", o.Solver)
+
 	// Initial surface-temperature estimate for radiation linearisation.
 	Tinit := o.InitialT
 	if Tinit <= 0 {
@@ -177,9 +196,9 @@ func (m *Model) SolveSteady(opts *SolveOptions) (*Result, error) {
 	var prev []float64
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIterations = outer + 1
-		a, b := m.assemble(Tsurf, w)
+		a, b := m.assembleObs(Tsurf, w, sp)
 		a.SetWorkers(w)
-		t, stats, err := m.linSolve(a, b, prev, &o)
+		t, stats, err := m.linSolve(a, b, prev, &o, sp)
 		res.Iterations = stats.Iterations
 		if err != nil {
 			if o.ReturnLast && t != nil {
@@ -248,19 +267,66 @@ func (m *Model) hasRadiation() bool {
 	return false
 }
 
-func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptions) ([]float64, linalg.IterStats, error) {
+// assembleObs wraps assemble with a child span and the assembly metrics
+// (thermal_matrix_nnz gauge, thermal_assembly_seconds histogram).  With
+// telemetry disabled it reduces to the bare assemble call plus two nil
+// checks.
+func (m *Model) assembleObs(Tsurf []float64, workers int, parent *obs.Span) (*linalg.CSR, []float64) {
+	sp := parent.Start("thermal.assemble")
+	reg := obs.Default()
+	if sp == nil && reg == nil {
+		return m.assemble(Tsurf, workers)
+	}
+	start := time.Now()
+	a, b := m.assemble(Tsurf, workers)
+	nnz := len(a.Val)
+	sp.AttrInt("nnz", nnz)
+	sp.End()
+	if reg != nil {
+		reg.Gauge("thermal_matrix_nnz").Set(float64(nnz))
+		reg.Histogram("thermal_assembly_seconds", assemblyBuckets).Observe(time.Since(start).Seconds())
+	}
+	return a, b
+}
+
+// assemblyBuckets span 1 µs to 1000 s, one decade per bucket.
+var assemblyBuckets = obs.ExpBuckets(1e-6, 10, 9)
+
+func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptions, parent *obs.Span) ([]float64, linalg.IterStats, error) {
+	io := &linalg.IterOptions{Tol: o.Tol, MaxIter: o.MaxIter, OnIteration: o.OnIteration}
 	switch o.Solver {
 	case "cg":
-		return linalg.CG(a, b, x0, nil, o.Tol, o.MaxIter)
 	case "cg-jacobi":
-		return linalg.CG(a, b, x0, linalg.NewJacobiPrec(a), o.Tol, o.MaxIter)
+		io.Prec = linalg.NewJacobiPrec(a)
 	case "cg-ssor":
-		return linalg.CG(a, b, x0, linalg.NewSSORPrec(a, o.SSOROmega), o.Tol, o.MaxIter)
+		io.Prec = linalg.NewSSORPrec(a, o.SSOROmega)
 	case "bicgstab":
-		return linalg.BiCGSTAB(a, b, x0, linalg.NewJacobiPrec(a), o.Tol, o.MaxIter)
+		io.Prec = linalg.NewJacobiPrec(a)
 	default:
 		return nil, linalg.IterStats{}, fmt.Errorf("thermal: unknown solver %q", o.Solver)
 	}
+	sp := parent.Start("thermal.linSolve")
+	sp.Attr("solver", o.Solver)
+	var (
+		x     []float64
+		stats linalg.IterStats
+		err   error
+	)
+	if o.Solver == "bicgstab" {
+		x, stats, err = linalg.BiCGSTABOpt(a, b, x0, io)
+	} else {
+		x, stats, err = linalg.CGOpt(a, b, x0, io)
+	}
+	sp.AttrInt("iterations", stats.Iterations)
+	sp.AttrF("residual", stats.Residual)
+	sp.End()
+	if err != nil {
+		// Surface the solver statistics in the error so a failed solve is
+		// diagnosable from the message alone.
+		err = fmt.Errorf("thermal: %s solve failed after %d iterations (residual %.3g): %w",
+			o.Solver, stats.Iterations, stats.Residual, err)
+	}
+	return x, stats, err
 }
 
 // assembleInterior accumulates the interior-face conductances for the
@@ -518,12 +584,17 @@ func (m *Model) SolveTransient(T0 float64, opts *TransientOptions) (*Result, err
 		}
 	}
 
+	sp := obs.Start(o.Span, "thermal.SolveTransient")
+	defer sp.End()
+	sp.AttrInt("cells", n)
+	sp.AttrInt("steps", opts.Steps)
+
 	w := o.workerCount()
 	res := &Result{g: g}
 	rhs := make([]float64, n)
 	t := 0.0
 	for step := 0; step < opts.Steps; step++ {
-		a, b := m.assemble(T, w)
+		a, b := m.assembleObs(T, w, sp)
 		// (C/dt + A)·T^{n+1} = C/dt·T^n + b — fold capacity into a copy of
 		// the assembled operator.
 		coo := linalg.NewCOO(n, n)
@@ -536,7 +607,7 @@ func (m *Model) SolveTransient(T0 float64, opts *TransientOptions) (*Result, err
 		}
 		sys := coo.ToCSR()
 		sys.SetWorkers(w)
-		Tn, stats, err := m.linSolve(sys, rhs, T, &o)
+		Tn, stats, err := m.linSolve(sys, rhs, T, &o, sp)
 		res.Iterations = stats.Iterations
 		if err != nil {
 			return nil, fmt.Errorf("thermal: transient step %d: %w", step, err)

@@ -28,4 +28,10 @@ go test -race ./...
 echo "== go test -race -cpu=1,4 (parallel kernels)"
 go test -race -cpu=1,4 ./internal/parallel ./internal/linalg ./internal/thermal
 
+echo "== telemetry determinism (span trees and metric contracts, twice)"
+go test -run TestObs -count=2 ./internal/obs/...
+
+echo "== go test -race -cpu=1,4 (telemetry)"
+go test -race -cpu=1,4 ./internal/obs
+
 echo "verify.sh: all gates passed"
