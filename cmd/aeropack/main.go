@@ -23,6 +23,7 @@ import (
 	"aeropack/internal/core"
 	"aeropack/internal/obs"
 	"aeropack/internal/report"
+	"aeropack/internal/robust"
 	"aeropack/internal/units"
 )
 
@@ -113,6 +114,7 @@ func main() {
 	demo := flag.Bool("demo", false, "print an example specification and exit")
 	ambient := flag.Float64("screen-ambient", 71, "worst hot ambient for the level-1 screen, °C")
 	doc := flag.Bool("doc", false, "emit the full packaging design document instead of the summary tables")
+	keepGoing := flag.Bool("keep-going", false, "survive per-pass failures: errored passes print to stderr and the report keeps the surviving sections; exit code 4 on a partial study")
 	eqPath := flag.String("equipment", "", "path to a multi-board equipment JSON")
 	eqDemo := flag.Bool("equipment-demo", false, "print an example equipment spec and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
@@ -163,14 +165,29 @@ func main() {
 	screen := core.DefaultScreen(env)
 	screen.AmbientC = *ambient
 
-	rep, err := core.Study(board, screen)
-	if err != nil {
+	var rep *core.Report
+	var pointErrs []*robust.PointError
+	if *keepGoing {
+		rep, pointErrs = core.StudyKeepGoing(board, screen)
+		for _, pe := range pointErrs {
+			fmt.Fprintln(os.Stderr, "aeropack: keep-going:", pe)
+		}
+		if rep == nil {
+			fail(1, robust.FirstError(pointErrs))
+		}
+	} else if rep, err = core.Study(board, screen); err != nil {
 		fail(1, err)
 	}
-	if *doc {
+	// Document dereferences every section, so a partial report falls back
+	// to the nil-guarded summary tables.
+	if *doc && rep.Level2 != nil && rep.Level3 != nil && rep.Mech != nil {
 		fmt.Print(rep.Document())
 	} else {
 		printReport(rep)
+	}
+	if len(pointErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "aeropack: keep-going: %d pass(es) errored, report is partial\n", len(pointErrs))
+		fail(4, nil)
 	}
 	if !rep.Feasible {
 		fail(3, nil)
@@ -225,16 +242,28 @@ func printReport(rep *core.Report) {
 	t.AddRow("level 1 (equipment)", fmt.Sprintf("%v: capacity %.0f W (margin %+.0f%%), flux %.1f W/cm² (margin %+.0f%%)",
 		rep.Level1.Tech, rep.Level1.MaxPowerW, rep.Level1.PowerMargin*100,
 		rep.Level1.MaxFluxWCm2, rep.Level1.FluxMargin*100))
-	t.AddRow("level 2 (PCB)", fmt.Sprintf("board max %.1f °C, mean %.1f °C",
-		rep.Level2.MaxBoardC, rep.Level2.MeanBoardC))
-	t.AddRow("level 3 (component)", fmt.Sprintf("worst junction %.1f °C, all pass: %v",
-		rep.Level3.WorstC, rep.Level3.AllPass))
-	t.AddRow("mechanical", fmt.Sprintf("fundamental %.0f Hz, response %.2f gRMS, fatigue OK: %v",
-		rep.Mech.FundamentalHz, rep.Mech.ResponseGRMS, rep.Mech.FatigueOK))
+	if rep.Level2 != nil {
+		t.AddRow("level 2 (PCB)", fmt.Sprintf("board max %.1f °C, mean %.1f °C",
+			rep.Level2.MaxBoardC, rep.Level2.MeanBoardC))
+	} else {
+		t.AddRow("level 2 (PCB)", "ERROR — see findings")
+	}
+	if rep.Level3 != nil {
+		t.AddRow("level 3 (component)", fmt.Sprintf("worst junction %.1f °C, all pass: %v",
+			rep.Level3.WorstC, rep.Level3.AllPass))
+	} else {
+		t.AddRow("level 3 (component)", "ERROR — see findings")
+	}
+	if rep.Mech != nil {
+		t.AddRow("mechanical", fmt.Sprintf("fundamental %.0f Hz, response %.2f gRMS, fatigue OK: %v",
+			rep.Mech.FundamentalHz, rep.Mech.ResponseGRMS, rep.Mech.FatigueOK))
+	} else {
+		t.AddRow("mechanical", "ERROR — see findings")
+	}
 	t.AddRow("verdict", fmt.Sprintf("feasible: %v", rep.Feasible))
 	fmt.Print(t.String())
 
-	if len(rep.Level3.Margins) > 0 {
+	if rep.Level3 != nil && len(rep.Level3.Margins) > 0 {
 		t2 := report.NewTable("Junction margins (worst first)", "refdes", "Tj °C", "limit °C", "margin K")
 		for _, m := range rep.Level3.Margins {
 			t2.AddRow(m.RefDes, fmt.Sprintf("%.1f", units.KToC(m.Tj)),

@@ -19,6 +19,7 @@ import (
 	"aeropack/internal/materials"
 	"aeropack/internal/obs"
 	"aeropack/internal/report"
+	"aeropack/internal/robust"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	step := flag.Float64("step", 10, "power step, W")
 	csv := flag.Bool("csv", false, "emit the sweep as CSV (power, dT per configuration) for plotting")
 	workers := flag.Int("workers", 1, "worker goroutines for sweeps (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
+	keepGoing := flag.Bool("keep-going", false, "survive per-point solver failures: failed points print to stderr and show NaN, all other points are unchanged; exit code 4 on a partial run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
 	flag.Parse()
@@ -55,9 +57,32 @@ func main() {
 
 	// Sweeps always route through the pool layer so utilisation telemetry
 	// covers every run; workers == 1 takes the pool's serial path, whose
-	// results (and output) are identical to Sweep's.
+	// results (and output) are identical to Sweep's.  With -keep-going a
+	// failed point is reported on stderr and kept as NaN in the output
+	// instead of aborting; failures counts the points lost that way.
+	failures := 0
 	sweep := func(cfg cosee.Config) ([]cosee.Point, error) {
+		if *keepGoing {
+			pts, errs := cfg.SweepKeepGoing(powers, *workers)
+			for _, pe := range errs {
+				fmt.Fprintln(os.Stderr, "cosee: keep-going:", pe)
+			}
+			failures += len(errs)
+			return pts, nil
+		}
 		return cfg.SweepParallel(powers, *workers)
+	}
+	// exit flushes telemetry and terminates with code 4 when -keep-going
+	// swallowed failures, 0 on a clean run.
+	exit := func() {
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "cosee: keep-going: %d point(s) failed, results are partial\n", failures)
+			os.Exit(4)
+		}
 	}
 	configs := []struct {
 		name string
@@ -88,10 +113,7 @@ func main() {
 			}
 			fmt.Println()
 		}
-		if err := flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		exit()
 		return
 	}
 	for _, c := range configs {
@@ -108,8 +130,15 @@ func main() {
 		fmt.Print(s.String())
 	}
 
-	sum, err := cosee.RunFig10Parallel(mat, *workers)
-	if err != nil {
+	var sum *cosee.Fig10Summary
+	if *keepGoing {
+		var errs []*robust.PointError
+		sum, errs = cosee.RunFig10KeepGoing(mat, *workers, nil)
+		for _, pe := range errs {
+			fmt.Fprintln(os.Stderr, "cosee: keep-going:", pe)
+		}
+		failures += len(errs)
+	} else if sum, err = cosee.RunFig10Parallel(mat, *workers); err != nil {
 		fail(err)
 	}
 	t := report.NewTable("Headline summary ("+mat.Name+")", "quantity", "value")
@@ -120,8 +149,5 @@ func main() {
 	t.AddRow("PCB cooling at 40 W", fmt.Sprintf("%.1f K", sum.CoolingAt40W))
 	t.AddRow("LHP power at 100 W SEB", fmt.Sprintf("%.1f W", sum.LHPPowerAt100W))
 	fmt.Print(t.String())
-	if err := flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	exit()
 }

@@ -20,6 +20,7 @@ import (
 	"aeropack/internal/envtest"
 	"aeropack/internal/obs"
 	"aeropack/internal/report"
+	"aeropack/internal/robust"
 )
 
 // articleFile is the JSON schema of a unit under test.  The thermal model
@@ -65,6 +66,7 @@ func main() {
 	demo := flag.Bool("demo", false, "print an example article and exit")
 	extended := flag.Bool("extended", false, "add the DO-160 shock-pulse and sine-sweep tests")
 	workers := flag.Int("workers", 1, "worker goroutines for the campaign (1 = serial, 0 = GOMAXPROCS); results are identical at any count")
+	keepGoing := flag.Bool("keep-going", false, "survive per-test failures: errored tests show as ERROR rows, every other test still runs; exit code 4 on a partial campaign")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
 	flag.Parse()
@@ -100,7 +102,12 @@ func main() {
 	}
 
 	var results []envtest.Result
+	var pointErrs []*robust.PointError
 	switch {
+	case *keepGoing && *extended:
+		results, pointErrs = envtest.DefaultExtended().RunAllKeepGoing(article, *workers)
+	case *keepGoing:
+		results, pointErrs = envtest.DefaultCampaign().RunAllKeepGoing(article, *workers)
 	case *extended && *workers == 1:
 		results, err = envtest.DefaultExtended().RunAll(article)
 	case *extended:
@@ -113,15 +120,29 @@ func main() {
 	if err != nil {
 		fail(1, err)
 	}
+	for _, pe := range pointErrs {
+		fmt.Fprintln(os.Stderr, "qualify: keep-going:", pe)
+	}
+	errored := make(map[int]bool, len(pointErrs))
+	for _, pe := range pointErrs {
+		errored[pe.Index] = true
+	}
 	t := report.NewTable("Qualification — "+article.Name, "test", "result", "margin", "detail")
-	for _, r := range results {
+	for i, r := range results {
 		mark := "PASS"
-		if !r.Pass {
+		switch {
+		case errored[i]:
+			mark = "ERROR"
+		case !r.Pass:
 			mark = "FAIL"
 		}
 		t.AddRow(r.Test, mark, fmt.Sprintf("%+.0f%%", r.Margin()*100), r.Detail)
 	}
 	fmt.Print(t.String())
+	if len(pointErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "qualify: keep-going: %d test(s) errored, results are partial\n", len(pointErrs))
+		fail(4, nil)
+	}
 	if !envtest.AllPass(results) {
 		fail(3, nil)
 	}

@@ -9,6 +9,7 @@ import (
 	"aeropack/internal/mech"
 	"aeropack/internal/mesh"
 	"aeropack/internal/obs"
+	"aeropack/internal/robust"
 	"aeropack/internal/thermal"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
@@ -202,6 +203,86 @@ func Study(b *BoardDesign, screen Screen) (*Report, error) {
 	return rep, nil
 }
 
+// StudyKeepGoing runs the same four passes as Study but captures each
+// pass's failure as a robust.PointError (indexed in pass order: 0
+// level1, 1 level2, 2 level3, 3 mech) instead of aborting, so a report
+// with the surviving sections is always produced.  Level 3 needs the
+// level-2 field and is recorded as skipped when level 2 failed; the
+// mechanical pass is independent and always runs.  A report with any
+// errors is never Feasible, and each error is also appended to
+// Findings.  A nil error slice means the report equals Study's.
+func StudyKeepGoing(b *BoardDesign, screen Screen) (*Report, []*robust.PointError) {
+	b.defaults()
+	if err := b.Validate(); err != nil {
+		return nil, []*robust.PointError{{Index: 0, Label: "validate", Err: err}}
+	}
+	sp := obs.Start(nil, "core.Study")
+	defer sp.End()
+	sp.Attr("board", b.Name)
+	sp.Attr("keep_going", "true")
+	rep := &Report{Board: b}
+	var errs []*robust.PointError
+	fail := func(idx int, label string, err error) {
+		errs = append(errs, &robust.PointError{Index: idx, Label: label, Err: err})
+		rep.Findings = append(rep.Findings, fmt.Sprintf("%s: ERROR: %v", label, err))
+	}
+
+	a1, peakFlux, err := b.level1(screen, sp)
+	if err != nil {
+		fail(0, "level1", err)
+	} else {
+		rep.Level1 = a1
+		if !a1.Feasible {
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("level 1: %v infeasible for %.0f W / %.1f W/cm²",
+					b.EdgeCooling, b.TotalPower(), peakFlux))
+		}
+	}
+
+	l2, err := b.level2(screen, sp)
+	if err != nil {
+		fail(1, "level2", err)
+	} else {
+		rep.Level2 = l2
+		if l2.MaxBoardC > b.MaxJunctionC {
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("level 2: board reaches %.0f °C before component rise", l2.MaxBoardC))
+		}
+	}
+
+	if l2 == nil {
+		fail(2, "level3", fmt.Errorf("core: skipped, needs the level-2 board field"))
+	} else if l3, err := b.level3(l2, sp); err != nil {
+		fail(2, "level3", err)
+	} else {
+		rep.Level3 = l3
+		if !l3.AllPass {
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("level 3: junction limit exceeded (worst %.0f °C)", l3.WorstC))
+		}
+	}
+
+	mres, err := b.mechanical(sp)
+	if err != nil {
+		fail(3, "mech", err)
+	} else {
+		rep.Mech = mres
+		if b.TargetModeHz > 0 && !mres.ModePlaced {
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("mech: fundamental %.0f Hz misses allocation %.0f Hz", mres.FundamentalHz, b.TargetModeHz))
+		}
+		if !mres.FatigueOK {
+			rep.Findings = append(rep.Findings, "mech: random-vibration fatigue limit exceeded")
+		}
+	}
+
+	rep.Feasible = len(errs) == 0 && rep.Level1.Feasible &&
+		rep.Level3 != nil && rep.Level3.AllPass &&
+		rep.Mech != nil && rep.Mech.FatigueOK &&
+		(b.TargetModeHz == 0 || rep.Mech.ModePlaced)
+	return rep, errs
+}
+
 // level1 runs the technology screen on total power and peak component
 // flux, returning the assessment for the board's chosen cooling
 // technology plus the peak flux in W/cm².
@@ -314,7 +395,9 @@ func (b *BoardDesign) level2(screen Screen, parent *obs.Span) (*Level2Result, er
 			}
 		}
 	}
-	res, err := m.SolveSteady(&thermal.SolveOptions{Span: sp})
+	// Fallback walks the robust solver ladder if the primary CG solve
+	// fails; a first-rung success stays bitwise-identical.
+	res, err := m.SolveSteady(&thermal.SolveOptions{Span: sp, Fallback: true})
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ import (
 	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/radiation"
+	"aeropack/internal/robust"
 	"aeropack/internal/thermal"
 	"aeropack/internal/tim"
 	"aeropack/internal/twophase"
@@ -73,6 +74,12 @@ type Config struct {
 	// the paper lists.  Requires the seat structure above the box (true
 	// for the under-seat installation); unlike LHPs, tilting hurts.
 	UseThermosyphon bool
+
+	// FaultFn is the fault-injection seam for robustness tests: when
+	// non-nil it is consulted before every steady solve with the point's
+	// dissipated power, and a non-nil return fails that point as if the
+	// solver had.  Production configurations leave it nil.
+	FaultFn func(powerW float64) error
 }
 
 // Defaults fills zero fields with the COSEE rig values.
@@ -366,6 +373,11 @@ func (c *Config) solveObs(parent *obs.Span, power float64) (Point, error) {
 	if r := obs.Default(); r != nil {
 		r.Counter("cosee_solves_total").Inc()
 	}
+	if c.FaultFn != nil {
+		if err := c.FaultFn(power); err != nil {
+			return Point{}, err
+		}
+	}
 	n, err := c.BuildNetwork(power)
 	if err != nil {
 		return Point{}, err
@@ -419,6 +431,32 @@ func (c *Config) SweepParallel(powers []float64, workers int) ([]Point, error) {
 		cfg := cc
 		return cfg.solveObs(sp, p)
 	})
+}
+
+// SweepKeepGoing evaluates the same curve as SweepParallel but converts
+// per-point failures into robust.PointError values instead of aborting:
+// every surviving point is bitwise-identical to the one SweepParallel
+// would have produced, and each failed point keeps its PowerW with NaN
+// for the solved fields.  The second return lists the failures in input
+// order (empty on a clean sweep).
+func (c *Config) SweepKeepGoing(powers []float64, workers int) ([]Point, []*robust.PointError) {
+	sp := obs.Start(nil, "cosee.Sweep")
+	defer sp.End()
+	sp.AttrInt("points", len(powers))
+	sp.AttrInt("workers", parallel.Workers(workers))
+	sp.Attr("keep_going", "true")
+	cc := *c
+	cc.Defaults()
+	out, errs := robust.MapKeepGoing(powers, workers,
+		func(_ int, p float64) string { return fmt.Sprintf("P=%g W", p) },
+		func(_ int, p float64) (Point, error) {
+			cfg := cc
+			return cfg.solveObs(sp, p)
+		})
+	for _, pe := range errs {
+		out[pe.Index] = Point{PowerW: powers[pe.Index], DeltaTK: math.NaN(), LHPPower: math.NaN()}
+	}
+	return out, errs
 }
 
 // CapabilityAt returns the dissipated power at which the PCB sits
@@ -578,6 +616,71 @@ func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary,
 	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
 	s.CoolingAt40W = s.DeltaTNoLHP40W - s.DeltaTLHP40W
 	return &s, nil
+}
+
+// RunFig10KeepGoing computes the Fig. 10 summary like RunFig10Parallel
+// but degrades gracefully: a failed sub-study yields NaN for its summary
+// field (and any field derived from it) plus a robust.PointError naming
+// the study, while every surviving field is bitwise-identical to the
+// clean run's.  fault, when non-nil, is installed as the FaultFn of
+// every sub-study configuration — the seam the golden robustness test
+// uses to fail one study; production callers pass nil.
+func RunFig10KeepGoing(structure materials.Material, workers int, fault func(powerW float64) error) (*Fig10Summary, []*robust.PointError) {
+	sp := obs.Start(nil, "cosee.RunFig10")
+	defer sp.End()
+	sp.Attr("structure", structure.Name)
+	sp.AttrInt("workers", parallel.Workers(workers))
+	sp.Attr("keep_going", "true")
+	type study struct {
+		label string
+		fn    func() (float64, error)
+	}
+	tasks := []study{
+		{"capability-nolhp", func() (float64, error) {
+			c := Config{Structure: structure, FaultFn: fault}
+			return c.capabilityObs(sp, 60)
+		}},
+		{"capability-lhp", func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
+			return c.capabilityObs(sp, 60)
+		}},
+		{"capability-tilt", func() (float64, error) {
+			c := Config{UseLHP: true, TiltDeg: 22, Structure: structure, FaultFn: fault}
+			return c.capabilityObs(sp, 60)
+		}},
+		{"deltaT-nolhp-40W", func() (float64, error) {
+			c := Config{Structure: structure, FaultFn: fault}
+			p, err := c.solveObs(sp, 40)
+			return p.DeltaTK, err
+		}},
+		{"deltaT-lhp-40W", func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
+			p, err := c.solveObs(sp, 40)
+			return p.DeltaTK, err
+		}},
+		{"lhp-power-100W", func() (float64, error) {
+			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
+			p, err := c.solveObs(sp, 100)
+			return p.LHPPower, err
+		}},
+	}
+	vals, errs := robust.MapKeepGoing(tasks, workers,
+		func(_ int, s study) string { return s.label },
+		func(_ int, s study) (float64, error) { return s.fn() })
+	for _, pe := range errs {
+		vals[pe.Index] = math.NaN()
+	}
+	s := Fig10Summary{
+		CapabilityNoLHP: vals[0],
+		CapabilityLHP:   vals[1],
+		CapabilityTilt:  vals[2],
+		DeltaTNoLHP40W:  vals[3],
+		DeltaTLHP40W:    vals[4],
+		LHPPowerAt100W:  vals[5],
+	}
+	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
+	s.CoolingAt40W = s.DeltaTNoLHP40W - s.DeltaTLHP40W
+	return &s, errs
 }
 
 // FleetResult quantifies the paper's economic argument for passive

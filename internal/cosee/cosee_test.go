@@ -2,6 +2,7 @@ package cosee
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"aeropack/internal/materials"
@@ -176,7 +177,9 @@ func TestDefaultsIdempotent(t *testing.T) {
 	c.Defaults()
 	before := c
 	c.Defaults()
-	if c != before {
+	// Config carries a func-typed FaultFn, so it is not ==-comparable;
+	// DeepEqual treats the two nil FaultFns as equal.
+	if !reflect.DeepEqual(c, before) {
 		t.Error("Defaults should be idempotent")
 	}
 	if c.LHPCount != 2 {

@@ -14,6 +14,7 @@ import (
 	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
 	"aeropack/internal/reliability"
+	"aeropack/internal/robust"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
 )
@@ -283,6 +284,52 @@ func (c Campaign) RunAllParallel(a *Article, workers int) ([]Result, error) {
 	return out, err
 }
 
+// labelledRun pairs a test with a stable short name so keep-going
+// campaign runners can identify failed tests before a Result exists.
+type labelledRun struct {
+	label string
+	run   func(*Article) (Result, error)
+}
+
+func (c Campaign) labelledRuns() []labelledRun {
+	return []labelledRun{
+		{"acceleration", c.RunAcceleration},
+		{"vibration", c.RunVibration},
+		{"climatic", c.RunClimatic},
+		{"thermal-shock", c.RunThermalShock},
+	}
+}
+
+// runKeepGoing executes labelled tests with per-test error capture: a
+// failed test yields a robust.PointError plus a failed placeholder
+// Result carrying the error detail, and every other test still runs.
+func runKeepGoing(spanName string, a *Article, runs []labelledRun, workers int) ([]Result, []*robust.PointError) {
+	if err := a.Validate(); err != nil {
+		return nil, []*robust.PointError{{Index: 0, Label: "validate", Err: err}}
+	}
+	sp := obs.Start(nil, spanName)
+	defer sp.End()
+	sp.Attr("article", a.Name)
+	sp.Attr("keep_going", "true")
+	out, errs := robust.MapKeepGoing(runs, workers,
+		func(_ int, r labelledRun) string { return r.label },
+		func(_ int, r labelledRun) (Result, error) { return r.run(a) })
+	for _, pe := range errs {
+		out[pe.Index] = Result{Test: runs[pe.Index].label, Detail: "ERROR: " + pe.Err.Error()}
+	}
+	recordResults(out)
+	return out, errs
+}
+
+// RunAllKeepGoing executes the same four tests as RunAllParallel but a
+// failed test no longer aborts the campaign: it is returned as a
+// robust.PointError (labelled with the test's short name) plus a failed
+// placeholder Result, and the surviving results are identical to
+// RunAllParallel's.
+func (c Campaign) RunAllKeepGoing(a *Article, workers int) ([]Result, []*robust.PointError) {
+	return runKeepGoing("envtest.RunAll", a, c.labelledRuns(), workers)
+}
+
 // QualifyFleet runs the campaign over a batch of articles, one worker
 // per article (bounded by workers; <= 0 means GOMAXPROCS).  Each
 // article's tests execute serially in the paper's order, so per-article
@@ -292,6 +339,16 @@ func (c Campaign) QualifyFleet(articles []*Article, workers int) ([][]Result, er
 	return parallel.Map(articles, workers, func(_ int, a *Article) ([]Result, error) {
 		return c.RunAll(a)
 	})
+}
+
+// QualifyFleetKeepGoing runs the campaign over a batch of articles like
+// QualifyFleet, but a failing article no longer aborts the batch: its
+// row is nil and a robust.PointError labelled with the article name is
+// returned, while every other article's results are exactly RunAll's.
+func (c Campaign) QualifyFleetKeepGoing(articles []*Article, workers int) ([][]Result, []*robust.PointError) {
+	return robust.MapKeepGoing(articles, workers,
+		func(_ int, a *Article) string { return a.Name },
+		func(_ int, a *Article) ([]Result, error) { return c.RunAll(a) })
 }
 
 // AllPass reports whether every result passed.

@@ -6,6 +6,7 @@ import (
 
 	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
+	"aeropack/internal/robust"
 	"aeropack/internal/units"
 	"aeropack/internal/vibration"
 )
@@ -132,6 +133,16 @@ func (e Extended) RunAllParallel(a *Article, workers int) ([]Result, error) {
 	})
 	recordResults(out)
 	return out, err
+}
+
+// RunAllKeepGoing executes the six-test extended campaign with per-test
+// error capture, with the same contract as Campaign.RunAllKeepGoing.
+func (e Extended) RunAllKeepGoing(a *Article, workers int) ([]Result, []*robust.PointError) {
+	runs := append(e.Campaign.labelledRuns(),
+		labelledRun{"shock-pulse", e.RunShockPulse},
+		labelledRun{"sine-sweep", e.RunSineSweep},
+	)
+	return runKeepGoing("envtest.RunAllExtended", a, runs, workers)
 }
 
 func mechQ(zeta float64) float64 {

@@ -1,9 +1,16 @@
 package linalg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrStopped is wrapped into the error returned when an iterative solve
+// is aborted by IterOptions.Stop before reaching its tolerance — the
+// budget-exceeded signal fallback chains (internal/robust) test for with
+// errors.Is.
+var ErrStopped = errors.New("solve stopped by budget callback")
 
 // Preconditioner applies z = M⁻¹·r for an approximate inverse M⁻¹.
 type Preconditioner interface {
@@ -127,6 +134,12 @@ type IterOptions struct {
 	// end — the hook behind convergence traces (see ConvergenceLog).
 	// It runs on the solver goroutine; keep it cheap.
 	OnIteration func(it int, residual float64)
+	// Stop, if non-nil, is polled once per iteration after the
+	// convergence check; returning true aborts the solve with an error
+	// wrapping ErrStopped, keeping the best iterate so far.  It is the
+	// hook behind wall-clock attempt budgets and forced-bailout fault
+	// injection (internal/robust).
+	Stop func() bool
 }
 
 // CG solves the SPD system A·x = b with the preconditioned conjugate
@@ -204,6 +217,9 @@ func cg(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, error) {
 		if res < tol {
 			stats.Converged = true
 			return x, stats, nil
+		}
+		if o.Stop != nil && o.Stop() {
+			return x, stats, fmt.Errorf("linalg: CG %w after %d iterations (residual %.3g)", ErrStopped, stats.Iterations, stats.Residual)
 		}
 		prec.Apply(r, z)
 		rzNew := Dot(r, z)
@@ -322,6 +338,9 @@ func bicgstab(a *CSR, b, x0 []float64, o *IterOptions) ([]float64, IterStats, er
 		}
 		if math.Abs(omega) < 1e-300 {
 			return x, stats, fmt.Errorf("linalg: BiCGSTAB breakdown (omega≈0) at iter %d", it)
+		}
+		if o.Stop != nil && o.Stop() {
+			return x, stats, fmt.Errorf("linalg: BiCGSTAB %w after %d iterations (residual %.3g)", ErrStopped, stats.Iterations, stats.Residual)
 		}
 	}
 	return x, stats, fmt.Errorf("linalg: BiCGSTAB did not converge in %d iterations (residual %.3g)", maxIter, stats.Residual)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -94,6 +95,9 @@ func parseBenchLine(line string) (BenchEntry, error) {
 	if err != nil {
 		return BenchEntry{}, fmt.Errorf("report: bad iteration count in %q: %w", line, err)
 	}
+	if iters <= 0 {
+		return BenchEntry{}, fmt.Errorf("report: nonpositive iteration count %d in %q", iters, line)
+	}
 	e := BenchEntry{Name: name, Procs: procs, Iterations: iters}
 	// The rest is "<value> <unit>" pairs.
 	pairs := fields[2:]
@@ -104,6 +108,12 @@ func parseBenchLine(line string) (BenchEntry, error) {
 		v, err := strconv.ParseFloat(pairs[i], 64)
 		if err != nil {
 			return BenchEntry{}, fmt.Errorf("report: bad value %q in %q: %w", pairs[i], line, err)
+		}
+		// ParseFloat accepts "NaN" and "±Inf", but those can never appear
+		// in real `go test -bench` output and encoding/json rejects them,
+		// which would break the WriteJSON/ReadBenchJSON round-trip.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return BenchEntry{}, fmt.Errorf("report: non-finite value %q in %q", pairs[i], line)
 		}
 		unit := pairs[i+1]
 		if unit == "ns/op" {

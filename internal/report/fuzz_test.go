@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseBench checks the parser's core invariant: any input ParseBench
+// accepts must survive the WriteJSON → ReadBenchJSON round-trip intact.
+// This is what caught parseBenchLine accepting NaN/Inf values and
+// nonpositive iteration counts (encoding/json rejects non-finite floats,
+// so such a "successfully parsed" set could never be written out).
+func FuzzParseBench(f *testing.F) {
+	f.Add("goos: linux\ngoarch: amd64\npkg: aeropack/internal/cosee\ncpu: Xeon\n" +
+		"BenchmarkE5_Fig10-8  10  105544702 ns/op  12 B/op  3 allocs/op\nPASS\n")
+	f.Add("BenchmarkSolve 25 4.5 ns/op 12.5 solver_iters/op")
+	f.Add("BenchmarkBad 3 NaN ns/op")
+	f.Add("BenchmarkBad 3 +Inf ns/op")
+	f.Add("BenchmarkNeg -1 5 ns/op")
+	f.Add("BenchmarkZero 0 5 ns/op")
+	f.Add("BenchmarkOdd 2 5")
+	f.Add("Benchmark")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		if !utf8.ValidString(in) {
+			// encoding/json coerces invalid UTF-8 to U+FFFD, so byte-exact
+			// round-trips are only promised for valid UTF-8 input.
+			t.Skip("invalid UTF-8")
+		}
+		set, err := ParseBench(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(set.Benchmarks) == 0 {
+			t.Fatal("ParseBench returned success with zero benchmark lines")
+		}
+		for _, e := range set.Benchmarks {
+			if e.Iterations <= 0 {
+				t.Fatalf("accepted nonpositive iteration count %d", e.Iterations)
+			}
+			if e.Procs <= 0 {
+				t.Fatalf("accepted nonpositive procs %d", e.Procs)
+			}
+			if math.IsNaN(e.NsPerOp) || math.IsInf(e.NsPerOp, 0) {
+				t.Fatalf("accepted non-finite ns/op %v", e.NsPerOp)
+			}
+			for unit, v := range e.Metrics {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite metric %s=%v", unit, v)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatalf("parsed set failed to encode: %v", err)
+		}
+		back, err := ReadBenchJSON(&buf)
+		if err != nil {
+			t.Fatalf("encoded set failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(set, back) {
+			t.Fatalf("round-trip mismatch:\n parsed %+v\ndecoded %+v", set, back)
+		}
+	})
+}

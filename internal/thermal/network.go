@@ -7,6 +7,7 @@ import (
 
 	"aeropack/internal/linalg"
 	"aeropack/internal/obs"
+	"aeropack/internal/robust"
 )
 
 // Network is a lumped thermal resistance network — the "resistive network
@@ -181,7 +182,7 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 
 	var result *SteadyResult
 	for pass := 0; pass < maxIter; pass++ {
-		Tnew, err := n.solveLinear(rs)
+		Tnew, err := n.solveLinear(sp, rs)
 		if err != nil {
 			return nil, err
 		}
@@ -227,8 +228,9 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 	return result, fmt.Errorf("thermal: network Picard iteration did not converge in %d passes", maxIter)
 }
 
-// solveLinear solves the network with frozen resistances.
-func (n *Network) solveLinear(rs []float64) ([]float64, error) {
+// solveLinear solves the network with frozen resistances.  sp parents
+// the fallback spans when the primary solve fails.
+func (n *Network) solveLinear(sp *obs.Span, rs []float64) ([]float64, error) {
 	num := len(n.labels)
 	coo := linalg.NewCOO(num, num)
 	b := make([]float64, num)
@@ -273,9 +275,13 @@ func (n *Network) solveLinear(rs []float64) ([]float64, error) {
 	a := coo.ToCSR()
 	// Network matrices are symmetric positive definite after Dirichlet
 	// elimination; CG with Jacobi handles the typical sizes instantly.
-	x, _, err := linalg.CG(a, b, nil, linalg.NewJacobiPrec(a), 1e-12, 20*num+200)
+	// On failure the robust chain walks the fallback ladder (its first
+	// rung reproduces the primary solve exactly) before the last-resort
+	// dense solve for tiny ill-conditioned nets.
+	chain := robust.ChainFor("cg-jacobi", 0, 1e-12, 20*num+200)
+	chain.Span = sp
+	x, _, err := chain.Solve(a, b, nil)
 	if err != nil {
-		// Fall back to a robust dense solve for tiny ill-conditioned nets.
 		if num <= 600 {
 			xd, derr := linalg.SolveDense(a.ToDense(), b)
 			if derr == nil {

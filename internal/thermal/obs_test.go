@@ -1,7 +1,7 @@
 package thermal
 
 import (
-	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -28,7 +28,9 @@ func obsTestModel(t *testing.T) *Model {
 // TestSolveErrorSurfacesIterStats pins the error contract added for the
 // telemetry work: a non-converged linear solve must name the solver and
 // carry the iteration count and final residual, so a failure is
-// diagnosable from the message alone.
+// diagnosable from the message alone.  The thermal prefix must not
+// repeat the figures the wrapped linalg error already carries — the
+// old format printed the residual twice, once per layer.
 func TestSolveErrorSurfacesIterStats(t *testing.T) {
 	m := obsTestModel(t)
 	const maxIter = 3
@@ -37,13 +39,13 @@ func TestSolveErrorSurfacesIterStats(t *testing.T) {
 		t.Fatal("expected non-convergence with MaxIter=3")
 	}
 	msg := err.Error()
-	for _, want := range []string{
-		"thermal: cg solve failed",
-		fmt.Sprintf("after %d iterations", maxIter),
-		"residual",
-	} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("error %q missing %q", msg, want)
+	format := regexp.MustCompile(`^thermal: cg solve failed: linalg: CG did not converge in 3 iterations \(residual [0-9.e+-]+\)$`)
+	if !format.MatchString(msg) {
+		t.Errorf("error %q does not match the deduped format %v", msg, format)
+	}
+	for _, figure := range []string{"iterations", "residual"} {
+		if got := strings.Count(msg, figure); got != 1 {
+			t.Errorf("error %q mentions %q %d times, want exactly 1", msg, figure, got)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"aeropack/internal/mesh"
 	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
+	"aeropack/internal/robust"
 	"aeropack/internal/units"
 )
 
@@ -112,6 +113,14 @@ type SolveOptions struct {
 	Solver     string  // "cg" (default), "cg-jacobi", "cg-ssor", "bicgstab"
 	SSOROmega  float64 // relaxation for cg-ssor (default 1.2)
 	ReturnLast bool    // if true, return best-effort field on non-convergence
+
+	// Fallback routes the linear solve through the robust fallback
+	// chain (robust.ChainFor): when the configured Solver fails, the
+	// remaining rungs of the default ladder are tried before the solve
+	// is reported failed.  A solve that succeeds on the first rung is
+	// bitwise-identical to a non-Fallback solve, so enabling it only
+	// changes behaviour on systems that would otherwise error out.
+	Fallback bool
 
 	// Parallel enables slab-parallel FV assembly and row-parallel
 	// matrix-vector products.  Both paths are bitwise-identical to the
@@ -312,7 +321,17 @@ func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptio
 		stats linalg.IterStats
 		err   error
 	)
-	if o.Solver == "bicgstab" {
+	if o.Fallback {
+		chain := robust.ChainFor(o.Solver, o.SSOROmega, o.Tol, o.MaxIter)
+		chain.Span = sp
+		chain.OnIteration = o.OnIteration
+		var out robust.Outcome
+		x, out, err = chain.Solve(a, b, x0)
+		stats = out.Stats
+		if out.Fallbacks > 0 {
+			sp.AttrInt("fallbacks", out.Fallbacks)
+		}
+	} else if o.Solver == "bicgstab" {
 		x, stats, err = linalg.BiCGSTABOpt(a, b, x0, io)
 	} else {
 		x, stats, err = linalg.CGOpt(a, b, x0, io)
@@ -321,10 +340,10 @@ func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptio
 	sp.AttrF("residual", stats.Residual)
 	sp.End()
 	if err != nil {
-		// Surface the solver statistics in the error so a failed solve is
-		// diagnosable from the message alone.
-		err = fmt.Errorf("thermal: %s solve failed after %d iterations (residual %.3g): %w",
-			o.Solver, stats.Iterations, stats.Residual, err)
+		// The wrapped linalg error already carries the iteration count
+		// and final residual; prefixing only the failing solver name
+		// keeps the figures from appearing twice in the message.
+		err = fmt.Errorf("thermal: %s solve failed: %w", o.Solver, err)
 	}
 	return x, stats, err
 }

@@ -34,4 +34,19 @@ go test -run TestObs -count=2 ./internal/obs/...
 echo "== go test -race -cpu=1,4 (telemetry)"
 go test -race -cpu=1,4 ./internal/obs
 
+echo "== go test -race (robustness layer, fault injection)"
+go test -race ./internal/robust
+
+echo "== coverage floor (internal/robust >= 85%)"
+cov=$(go test -cover ./internal/robust | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$cov" ]; then
+    echo "could not measure internal/robust coverage" >&2
+    exit 1
+fi
+if ! awk -v c="$cov" 'BEGIN { exit !(c >= 85) }'; then
+    echo "internal/robust coverage ${cov}% is below the 85% floor" >&2
+    exit 1
+fi
+echo "internal/robust coverage: ${cov}%"
+
 echo "verify.sh: all gates passed"
