@@ -29,7 +29,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; nothing to do about a close error
 		src = f
 	}
 	set, err := report.ParseBench(src)

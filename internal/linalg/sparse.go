@@ -91,7 +91,7 @@ func (c *COO) ToCSR() *CSR {
 	// below is an exact cancellation check, not a tolerance question.
 	keep := 0
 	for i, v := range csr.Val {
-		if v == 0 { //lint:allow floatcmp exact-zero test detects duplicate cancellation, not approximate equality
+		if v == 0 { // exact cancellation check; zero compares are floatcmp-exempt
 			continue
 		}
 		csr.Val[keep], csr.ColIdx[keep] = v, csr.ColIdx[i]
@@ -162,6 +162,8 @@ func (m *CSR) MulVec(x, y []float64) []float64 {
 }
 
 // mulVecInto computes y = M·x into a non-aliasing y of length Rows.
+//
+//lint:hot
 func (m *CSR) mulVecInto(x, y []float64) {
 	if w := m.workers; w > 1 && m.NNZ() >= MulVecParallelNNZ {
 		parallel.Blocks(m.Rows, w, func(_, lo, hi int) {
@@ -173,6 +175,8 @@ func (m *CSR) mulVecInto(x, y []float64) {
 }
 
 // mulRows computes the row range [lo,hi) of y = M·x.
+//
+//lint:hot
 func (m *CSR) mulRows(x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		s := 0.0

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkLintModule measures the full nine-rule suite over the real
+// module, cold (empty cache, full parse + type-check) and warm (every
+// package served from the content-hash cache, so only hashing and key
+// derivation remain).  The warm/cold ratio is the headline number for
+// the cache: it should be well under 0.5.
+func BenchmarkLintModule(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := &Cache{Dir: filepath.Join(b.TempDir(), "cache")}
+			b.StartTimer()
+			res, err := RunModule(ModuleOptions{Dir: "../..", Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheHits != 0 {
+				b.Fatalf("cold run hit the cache %d times", res.CacheHits)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := &Cache{Dir: filepath.Join(b.TempDir(), "cache")}
+		if _, err := RunModule(ModuleOptions{Dir: "../..", Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := RunModule(ModuleOptions{Dir: "../..", Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheMisses != 0 {
+				b.Fatalf("warm run missed the cache %d times", res.CacheMisses)
+			}
+		}
+	})
+}

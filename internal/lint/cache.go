@@ -1,0 +1,284 @@
+// Content-hash result cache.  Lint findings for a package are a pure
+// function of (a) the package's own non-test sources, (b) the sources
+// of its transitive module-internal dependencies — facts and type
+// information flow only along the import graph — and (c) the rule set.
+// The cache key folds all three together, so a hit can skip parsing,
+// type-checking and rule execution for the package entirely; a cached
+// whole-module re-run touches nothing but file bytes and import lines.
+//
+// Keys are computed concurrently: every package directory is hashed and
+// imports-scanned on its own goroutine (token.FileSet and
+// parser.ParseFile are safe for concurrent use), then the dependency
+// closure is folded over the memoized per-directory hashes.
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheSchemaVersion invalidates every entry when the on-disk format or
+// the analysis semantics change in a way the rule-set salt cannot see.
+const cacheSchemaVersion = "aeropacklint-cache/v1"
+
+// Cache is a directory of per-package finding files keyed by content
+// hash.  The zero value (empty Dir) is a disabled cache.
+type Cache struct {
+	// Dir holds one JSON file per (package, content) key.
+	Dir string
+}
+
+// DefaultCacheDir returns the per-user cache directory for the module
+// rooted at root, namespaced by the root path so two checkouts never
+// share entries.
+func DefaultCacheDir(root string) string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	h := sha256.Sum256([]byte(root))
+	return filepath.Join(base, "aeropacklint", hex.EncodeToString(h[:8]))
+}
+
+// cachedFinding is the serialized form of a Finding; positions are
+// module-root-relative so entries survive checkout moves.
+type cachedFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+	Hint   string `json:"hint,omitempty"`
+}
+
+// Get returns the cached findings for key, with ok=false on any miss or
+// decode problem (a corrupt entry behaves like a miss).
+func (c *Cache) Get(key string) ([]Finding, bool) {
+	if c == nil || c.Dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.Dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var cfs []cachedFinding
+	if err := json.Unmarshal(data, &cfs); err != nil {
+		return nil, false
+	}
+	findings := make([]Finding, len(cfs))
+	for i, cf := range cfs {
+		findings[i] = Finding{
+			Pos:  token.Position{Filename: cf.File, Line: cf.Line, Column: cf.Column},
+			Rule: cf.Rule,
+			Msg:  cf.Msg,
+			Hint: cf.Hint,
+		}
+	}
+	return findings, true
+}
+
+// Put stores findings (already root-relative) under key.  The write is
+// atomic-enough for a cache: a rename from a temp file in the same dir.
+func (c *Cache) Put(key string, findings []Finding) error {
+	if c == nil || c.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	cfs := make([]cachedFinding, len(findings))
+	for i, f := range findings {
+		cfs[i] = cachedFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+		}
+	}
+	data, err := json.Marshal(cfs)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.Dir, key+".json"))
+}
+
+// ruleSalt folds the active rule set (names and docs — a reworded doc
+// implies reworded hints) into every key.
+func ruleSalt(rules []Rule) string {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchemaVersion)
+	for _, r := range rules {
+		fmt.Fprintln(h, r.Name(), r.Doc())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// dirState is the concurrently-computed per-directory raw material for
+// key derivation.
+type dirState struct {
+	ownHash string   // hash of file names + contents
+	deps    []string // module-internal dependency directories
+	err     error
+}
+
+// keyer computes cache keys for package directories of one module.
+type keyer struct {
+	l      *Loader
+	salt   string
+	states map[string]*dirState
+	keys   map[string]string
+}
+
+// newKeyer hashes and imports-scans every directory reachable from dirs
+// (the requested set plus the module-internal dependency closure), each
+// on its own goroutine.
+func newKeyer(l *Loader, rules []Rule, dirs []string) *keyer {
+	k := &keyer{l: l, salt: ruleSalt(rules), states: make(map[string]*dirState), keys: make(map[string]string)}
+	pending := append([]string(nil), dirs...)
+	var mu sync.Mutex
+	for len(pending) > 0 {
+		batch := pending
+		pending = nil
+		var wg sync.WaitGroup
+		for _, dir := range batch {
+			mu.Lock()
+			_, seen := k.states[dir]
+			if !seen {
+				k.states[dir] = &dirState{} // reserve
+			}
+			mu.Unlock()
+			if seen {
+				continue
+			}
+			wg.Add(1)
+			go func(dir string) {
+				defer wg.Done()
+				st := k.scanDir(dir)
+				mu.Lock()
+				k.states[dir] = st
+				mu.Unlock()
+			}(dir)
+		}
+		wg.Wait()
+		// Queue newly-discovered dependency directories.
+		for _, dir := range batch {
+			st := k.states[dir]
+			if st.err != nil {
+				continue
+			}
+			for _, dep := range st.deps {
+				if _, seen := k.states[dep]; !seen {
+					pending = append(pending, dep)
+				}
+			}
+		}
+	}
+	return k
+}
+
+// scanDir hashes the directory's non-test sources and extracts its
+// module-internal imports with an imports-only parse.
+func (k *keyer) scanDir(dir string) *dirState {
+	st := &dirState{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		st.err = err
+		return st
+	}
+	h := sha256.New()
+	fset := token.NewFileSet()
+	depSet := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			st.err = err
+			return st
+		}
+		fmt.Fprintln(h, name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, path, data, parser.ImportsOnly)
+		if err != nil {
+			st.err = err
+			return st
+		}
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if depDir, ok := k.l.dirFor(ipath); ok {
+				depSet[depDir] = true
+			}
+		}
+	}
+	st.ownHash = hex.EncodeToString(h.Sum(nil))
+	for dep := range depSet {
+		if dep != dir {
+			st.deps = append(st.deps, dep)
+		}
+	}
+	sort.Strings(st.deps)
+	return st
+}
+
+// Key returns the cache key for dir: a hash over the rule salt, the
+// directory's own content hash and the keys of its dependency closure.
+// The error reports the first unreadable directory in the closure.
+func (k *keyer) Key(dir string) (string, error) {
+	if key, ok := k.keys[dir]; ok {
+		return key, nil
+	}
+	st, ok := k.states[dir]
+	if !ok {
+		return "", fmt.Errorf("lint: cache key requested for unscanned dir %s", dir)
+	}
+	if st.err != nil {
+		return "", st.err
+	}
+	// Mark in progress; Go forbids import cycles so recursion terminates,
+	// but a malformed tree should error instead of recursing forever.
+	k.keys[dir] = ""
+	h := sha256.New()
+	fmt.Fprintln(h, k.salt)
+	// The package's identity (its module-relative path) is part of the
+	// key: findings embed file paths, so two content-identical packages
+	// must not share an entry.
+	if rel, err := filepath.Rel(k.l.Root, dir); err == nil {
+		fmt.Fprintln(h, filepath.ToSlash(rel))
+	}
+	fmt.Fprintln(h, st.ownHash)
+	for _, dep := range st.deps {
+		depKey, err := k.Key(dep)
+		if err != nil {
+			return "", err
+		}
+		if depKey == "" {
+			return "", fmt.Errorf("lint: import cycle through %s", dep)
+		}
+		fmt.Fprintln(h, depKey)
+	}
+	key := hex.EncodeToString(h.Sum(nil))
+	k.keys[dir] = key
+	return key, nil
+}

@@ -1,0 +1,140 @@
+// Machine-readable finding exporters: a compact JSON form for scripts
+// and SARIF 2.1.0 for editor and CI integrations.  Both take findings
+// whose positions have already been made module-root-relative, so the
+// emitted URIs are stable across checkouts.
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonReport is the aeropacklint/v1 JSON envelope.
+type jsonReport struct {
+	Version  string        `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+	Hint   string `json:"hint,omitempty"`
+}
+
+// WriteJSONFindings emits the aeropacklint/v1 JSON report.
+func WriteJSONFindings(w io.Writer, findings []Finding) error {
+	rep := jsonReport{Version: "aeropacklint/v1", Findings: make([]jsonFinding, len(findings))}
+	for i, f := range findings {
+		rep.Findings[i] = jsonFinding{
+			File: filepath.ToSlash(f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 document shape (the subset aeropacklint emits).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log.  Every registered
+// rule appears in the driver's rule table whether or not it fired, so
+// consumers can render the full policy.
+func WriteSARIF(w io.Writer, rules []Rule, findings []Finding) error {
+	driver := sarifDriver{Name: "aeropacklint"}
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		index[r.Name()] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name(),
+			ShortDescription: sarifMessage{Text: r.Doc()},
+		})
+	}
+	results := make([]sarifResult, len(findings))
+	for i, f := range findings {
+		msg := f.Msg
+		if f.Hint != "" {
+			msg += " (" + f.Hint + ")"
+		}
+		results[i] = sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

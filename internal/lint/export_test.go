@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func exportFixture() []Finding {
+	return []Finding{{
+		Pos:  token.Position{Filename: "internal/thermal/solve.go", Line: 42, Column: 7},
+		Rule: "unitsafety",
+		Msg:  "inline unit-conversion literal 273.15",
+		Hint: "use units.CToK/units.KToC (or units.ZeroCelsius for the constant itself)",
+	}}
+}
+
+// TestWriteJSONFindings pins the aeropacklint/v1 envelope.
+func TestWriteJSONFindings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONFindings(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version  string `json:"version"`
+		Findings []struct {
+			File   string `json:"file"`
+			Line   int    `json:"line"`
+			Column int    `json:"column"`
+			Rule   string `json:"rule"`
+			Msg    string `json:"msg"`
+			Hint   string `json:"hint"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != "aeropacklint/v1" {
+		t.Errorf("version = %q, want aeropacklint/v1", rep.Version)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.File != "internal/thermal/solve.go" || f.Line != 42 || f.Column != 7 ||
+		f.Rule != "unitsafety" || f.Msg == "" || f.Hint == "" {
+		t.Errorf("finding fields off: %+v", f)
+	}
+}
+
+// TestWriteSARIFShape pins the SARIF 2.1.0 document shape by walking the
+// emitted JSON generically — a renamed or dropped field fails here even
+// if the Go structs stay internally consistent.
+func TestWriteSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, Rules(), exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc["$schema"]; got != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %v", got)
+	}
+	if got := doc["version"]; got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "aeropacklint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	ruleTable := driver["rules"].([]any)
+	if len(ruleTable) != len(Rules()) {
+		t.Errorf("driver rule table has %d entries, want all %d registered rules",
+			len(ruleTable), len(Rules()))
+	}
+	ruleIndex := -1
+	for i, r := range ruleTable {
+		rm := r.(map[string]any)
+		if rm["id"] == "" || rm["shortDescription"].(map[string]any)["text"] == "" {
+			t.Errorf("rule table entry %d missing id or shortDescription.text", i)
+		}
+		if rm["id"] == "unitsafety" {
+			ruleIndex = i
+		}
+	}
+
+	results := run["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	res := results[0].(map[string]any)
+	if res["ruleId"] != "unitsafety" {
+		t.Errorf("ruleId = %v", res["ruleId"])
+	}
+	if int(res["ruleIndex"].(float64)) != ruleIndex {
+		t.Errorf("ruleIndex = %v, want %d (position in the driver table)", res["ruleIndex"], ruleIndex)
+	}
+	if res["level"] != "error" {
+		t.Errorf("level = %v", res["level"])
+	}
+	msg := res["message"].(map[string]any)["text"].(string)
+	if !strings.Contains(msg, "273.15") || !strings.Contains(msg, "units.CToK") {
+		t.Errorf("message.text should carry msg and hint, got %q", msg)
+	}
+	loc := res["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/thermal/solve.go" {
+		t.Errorf("artifactLocation.uri = %v", uri)
+	}
+	region := loc["region"].(map[string]any)
+	if int(region["startLine"].(float64)) != 42 || int(region["startColumn"].(float64)) != 7 {
+		t.Errorf("region = %v, want startLine 42 startColumn 7", region)
+	}
+}

@@ -1,0 +1,187 @@
+// Cross-package facts.  A Fact is a statement about a types.Object that
+// one package proves and another package's rule consumes — the mechanism
+// that lets rules see through exported boundaries the way go/analysis
+// facts do, without leaving the stdlib.
+//
+// Two fact kinds exist today:
+//
+//   - wrapped sentinel: a package-level error variable is wrapped with
+//     fmt.Errorf("... %w ...", ..., Sentinel) somewhere in the module.
+//     Once wrapped, `err == Sentinel` can never match the wrapped chain,
+//     so the errdrop rule upgrades such comparisons from a convention
+//     violation to a proven bug.
+//   - magic constant: an exported constant whose value equals one of the
+//     unitsafety conversion factors.  The defining package is flagged by
+//     the literal scan; the fact lets unitsafety also flag *uses* of the
+//     constant from other packages, which contain no literal at all.
+//
+// Facts are gathered in a pass over every loaded package (including
+// packages loaded only as dependencies) before any rule runs, so checks
+// observe a complete store.  Fact flow follows the import graph: a fact
+// about an object in package P can only be consumed by packages that
+// (transitively) import P, which keeps the content-hash cache sound —
+// a package's cache key already covers its transitive in-module deps.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facts is the cross-package fact store shared by one lint run.
+type Facts struct {
+	// wrappedSentinel maps a package-level error variable to the import
+	// path of one package that wraps it with fmt.Errorf("%w").
+	wrappedSentinel map[types.Object]string
+	// magicConst maps an exported constant object to the units hint for
+	// the conversion factor its value equals.
+	magicConst map[types.Object]string
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{
+		wrappedSentinel: make(map[types.Object]string),
+		magicConst:      make(map[types.Object]string),
+	}
+}
+
+// WrappedIn returns the import path of a package that wraps the
+// sentinel object with %w, or "" when none is known.
+func (fs *Facts) WrappedIn(obj types.Object) string {
+	if fs == nil || obj == nil {
+		return ""
+	}
+	return fs.wrappedSentinel[obj]
+}
+
+// MagicHint returns the units hint for an exported constant equal to a
+// unit-conversion factor, or "" when the object carries no such fact.
+func (fs *Facts) MagicHint(obj types.Object) string {
+	if fs == nil || obj == nil {
+		return ""
+	}
+	return fs.magicConst[obj]
+}
+
+// Gather scans pkgs and records every fact they prove.  Call it with
+// every loaded package (the Loader's Loaded() slice) before running
+// rules, so consumers in importing packages see a complete store.
+func (fs *Facts) Gather(pkgs []*Package) {
+	for _, p := range pkgs {
+		fs.gatherWrappedSentinels(p)
+		fs.gatherMagicConsts(p)
+	}
+}
+
+// gatherWrappedSentinels records package-level error variables that are
+// wrapped with fmt.Errorf("... %w ...", ..., sentinel) in p.
+func (fs *Facts) gatherWrappedSentinels(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "fmt" {
+				return true
+			}
+			format, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || format.Kind != token.STRING || !strings.Contains(format.Value, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				obj := fs.sentinelObject(p, arg)
+				if obj == nil {
+					continue
+				}
+				if _, seen := fs.wrappedSentinel[obj]; !seen {
+					fs.wrappedSentinel[obj] = p.ImportPath
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelObject resolves e to a package-level variable of type error,
+// or nil.
+func (fs *Facts) sentinelObject(p *Package, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return obj
+}
+
+// gatherMagicConsts records exported package-level constants whose value
+// equals a unitsafety conversion factor.  internal/units (the canonical
+// home of those constants) and internal/lint (the table itself) are
+// exempt, mirroring the literal scan.
+func (fs *Facts) gatherMagicConsts(p *Package) {
+	if p.Info == nil ||
+		strings.HasSuffix(p.ImportPath, "/internal/units") ||
+		strings.HasSuffix(p.ImportPath, "/internal/lint") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !name.IsExported() {
+						continue
+					}
+					obj := p.Info.Defs[name]
+					c, ok := obj.(*types.Const)
+					if !ok || c.Val() == nil {
+						continue
+					}
+					if c.Val().Kind() != constant.Float && c.Val().Kind() != constant.Int {
+						continue
+					}
+					v, _ := constant.Float64Val(constant.ToFloat(c.Val()))
+					for _, m := range unitMagic {
+						if v == m.val { //lint:allow floatcmp exact table lookup by value
+							fs.magicConst[obj] = m.hint
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}

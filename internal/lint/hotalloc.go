@@ -1,0 +1,183 @@
+// The hotalloc rule: no per-iteration heap allocation inside the
+// designated hot kernels.  The CSR sparse kernels and the FV assembly
+// inner loops dominate solve time; a make / composite literal / closure
+// inside their loops turns an O(nnz) arithmetic pass into an allocation
+// storm the GC has to clean up mid-solve.
+//
+// Scope is opt-in: a function whose doc comment (or the line directly
+// above the declaration) carries the region directive
+//
+//	//lint:hot
+//
+// is a hot region, and every for / range loop body inside it is
+// checked.  Flagged constructs: make of a slice or map, slice / map /
+// pointer composite literals, new(T), and function literals (a closure
+// allocates its capture environment every time the expression is
+// evaluated).  Allocations outside loops — the usual hoisted scratch
+// buffers — are fine.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotDirective marks a function as a hot region for the hotalloc rule.
+const hotDirective = "//lint:hot"
+
+type hotallocRule struct{}
+
+func init() { Register(hotallocRule{}) }
+
+func (hotallocRule) Name() string { return "hotalloc" }
+
+func (hotallocRule) Doc() string {
+	return "no per-iteration slice/map/closure allocation inside loops of //lint:hot kernels"
+}
+
+func (hotallocRule) Check(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		hotLines := hotDirectiveLines(p, f)
+		if len(hotLines) == 0 {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.funcIsHot(fd, hotLines) {
+				continue
+			}
+			out = append(out, p.checkHotFunc(fd)...)
+		}
+	}
+	return out
+}
+
+// hotDirectiveLines collects the source lines holding a //lint:hot
+// comment.
+func hotDirectiveLines(p *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == hotDirective {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// funcIsHot reports whether a //lint:hot directive sits inside the
+// function's doc comment block or on the line immediately above the
+// declaration.
+func (p *Package) funcIsHot(fd *ast.FuncDecl, hotLines map[int]bool) bool {
+	declLine := p.Fset.Position(fd.Pos()).Line
+	if fd.Doc != nil {
+		start := p.Fset.Position(fd.Doc.Pos()).Line
+		for l := start; l < declLine; l++ {
+			if hotLines[l] {
+				return true
+			}
+		}
+	}
+	return hotLines[declLine-1]
+}
+
+// checkHotFunc flags per-iteration allocations in every loop body of the
+// hot function.
+func (p *Package) checkHotFunc(fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			body = s.Body
+		case *ast.RangeStmt:
+			body = s.Body
+		default:
+			return true
+		}
+		out = append(out, p.flagLoopAllocs(body, fd.Name.Name)...)
+		return false // flagLoopAllocs covers nested loops itself
+	})
+	return out
+}
+
+// flagLoopAllocs walks one loop body (including nested loops) and flags
+// allocating constructs.
+func (p *Package) flagLoopAllocs(body *ast.BlockStmt, fn string) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, what, hint string) {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(n.Pos()),
+			Rule: "hotalloc",
+			Msg:  what + " inside a loop of hot kernel " + fn,
+			Hint: hint,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && p.Info.Uses[id] == types.Universe.Lookup(id.Name) {
+				switch id.Name {
+				case "make":
+					if len(x.Args) > 0 && p.typeExprAllocates(x.Args[0]) {
+						flag(x, "make", "hoist the buffer out of the loop and reuse it")
+					}
+				case "new":
+					flag(x, "new", "hoist the allocation out of the loop")
+				}
+			}
+		case *ast.CompositeLit:
+			if p.compositeAllocates(x) {
+				flag(x, "slice/map composite literal", "hoist the allocation out of the loop and reset in place")
+			}
+			return false // elements of a flagged literal are covered
+		case *ast.FuncLit:
+			flag(x, "closure", "hoist the function literal out of the loop; each evaluation allocates its captures")
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// typeExprAllocates reports whether the make() type argument is a slice
+// or map (make(chan) in a kernel would be flagged by lockheld usage
+// anyway and is left alone).
+func (p *Package) typeExprAllocates(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+	switch e.(type) {
+	case *ast.ArrayType, *ast.MapType:
+		return true
+	}
+	return false
+}
+
+// compositeAllocates reports whether the composite literal builds a
+// slice or map (struct and array values stay on the stack).
+func (p *Package) compositeAllocates(cl *ast.CompositeLit) bool {
+	tv, ok := p.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		switch cl.Type.(type) {
+		case *ast.ArrayType, *ast.MapType:
+			return true
+		}
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

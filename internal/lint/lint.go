@@ -64,9 +64,25 @@ type Package struct {
 	Pkg *types.Package
 	// Info carries expression types, definitions and uses.
 	Info *types.Info
+	// Facts is the cross-package fact store for this run (may be nil;
+	// rules that consume facts must tolerate that).
+	Facts *Facts
 
 	// allow maps rule name → source line → suppressed.
 	allow map[string]map[int]bool
+	// directives lists every parsed //lint:allow directive, for the
+	// -audit-allows mode.
+	directives []AllowDirective
+}
+
+// AllowDirective is one parsed //lint:allow comment.
+type AllowDirective struct {
+	// Pos is the directive comment's position.
+	Pos token.Position
+	// Rules are the rule names the directive suppresses.
+	Rules []string
+	// Reason is the free-form justification text after the rule list.
+	Reason string
 }
 
 // Rule is one self-contained analysis pass.
@@ -111,17 +127,20 @@ func (p *Package) buildAllow() {
 				if len(fields) == 0 {
 					continue
 				}
-				line := p.Fset.Position(c.Pos()).Line
+				pos := p.Fset.Position(c.Pos())
+				d := AllowDirective{Pos: pos, Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))}
 				for _, rule := range strings.Split(fields[0], ",") {
 					if rule == "" {
 						continue
 					}
+					d.Rules = append(d.Rules, rule)
 					if p.allow[rule] == nil {
 						p.allow[rule] = make(map[int]bool)
 					}
-					p.allow[rule][line] = true
-					p.allow[rule][line+1] = true
+					p.allow[rule][pos.Line] = true
+					p.allow[rule][pos.Line+1] = true
 				}
+				p.directives = append(p.directives, d)
 			}
 		}
 	}
@@ -135,6 +154,14 @@ func (p *Package) Allowed(rule string, line int) bool {
 	return p.allow[rule][line]
 }
 
+// Directives returns every //lint:allow directive in the package.
+func (p *Package) Directives() []AllowDirective {
+	if p.allow == nil {
+		p.buildAllow()
+	}
+	return p.directives
+}
+
 // Run executes every registered rule over the given packages, applies
 // //lint:allow filtering, and returns the surviving findings sorted by
 // position.
@@ -146,15 +173,30 @@ func Run(pkgs []*Package) []Finding {
 func RunRules(pkgs []*Package, rules []Rule) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
-		for _, r := range rules {
-			for _, f := range r.Check(p) {
-				if p.Allowed(f.Rule, f.Pos.Line) {
-					continue
-				}
-				out = append(out, f)
+		for _, f := range RunRulesRaw(p, rules) {
+			if p.Allowed(f.Rule, f.Pos.Line) {
+				continue
 			}
+			out = append(out, f)
 		}
 	}
+	SortFindings(out)
+	return out
+}
+
+// RunRulesRaw runs rules over one package and returns every finding
+// before //lint:allow filtering — the audit mode needs the raw set to
+// decide which directives still suppress something.
+func RunRulesRaw(p *Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, r := range rules {
+		out = append(out, r.Check(p)...)
+	}
+	return out
+}
+
+// SortFindings orders findings by file, line, column, then rule name.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -168,7 +210,6 @@ func RunRules(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }
 
 // isFloat64 reports whether t is (an alias of) float64.

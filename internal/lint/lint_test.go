@@ -32,13 +32,20 @@ func loadTestPackage(t *testing.T, path, importPath string) *Package {
 	}
 	conf := types.Config{Importer: l, Error: func(error) {}}
 	pkg, _ := conf.Check(importPath, l.Fset, []*ast.File{f}, info)
-	return &Package{
+	p := &Package{
 		ImportPath: importPath,
 		Fset:       l.Fset,
 		Files:      []*ast.File{f},
 		Pkg:        pkg,
 		Info:       info,
 	}
+	// Gather cross-package facts over the dependencies the import above
+	// pulled in (e.g. linalg's %w wrap of ErrStopped) plus the test
+	// package itself, mirroring the RunModule pipeline.
+	facts := NewFacts()
+	facts.Gather(append(l.Loaded(), p))
+	p.Facts = facts
+	return p
 }
 
 func ruleByName(t *testing.T, name string) Rule {
@@ -64,10 +71,16 @@ func TestGolden(t *testing.T) {
 		importPath string
 	}{
 		{"unitsafety", "unitsafety", "testdata/unitsafety_src.go", "aeropack/internal/thermal"},
+		{"unitsafety_fact", "unitsafety", "testdata/unitsafety_fact_src.go", "aeropack/internal/cosee"},
 		{"floatcmp", "floatcmp", "testdata/floatcmp_src.go", "aeropack/internal/thermal"},
 		{"panicpolicy", "panicpolicy", "testdata/panicpolicy_src.go", "aeropack/internal/thermal"},
 		{"panicpolicy_linalg", "panicpolicy", "testdata/panicpolicy_linalg_src.go", "aeropack/internal/linalg"},
 		{"nanguard", "nanguard", "testdata/nanguard_src.go", "aeropack/internal/thermal"},
+		{"spanleak", "spanleak", "testdata/spanleak_src.go", "aeropack/internal/thermal"},
+		{"detguard", "detguard", "testdata/detguard_src.go", "aeropack/internal/cosee"},
+		{"errdrop", "errdrop", "testdata/errdrop_src.go", "aeropack/internal/cosee"},
+		{"lockheld", "lockheld", "testdata/lockheld_src.go", "aeropack/internal/cosee"},
+		{"hotalloc", "hotalloc", "testdata/hotalloc_src.go", "aeropack/internal/cosee"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -121,7 +134,7 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestRulesRegistered pins the rule set: all four analyzers register
+// TestRulesRegistered pins the rule set: all nine analyzers register
 // themselves and come back sorted by name.
 func TestRulesRegistered(t *testing.T) {
 	var names []string
@@ -131,7 +144,8 @@ func TestRulesRegistered(t *testing.T) {
 			t.Errorf("rule %s has no doc line", r.Name())
 		}
 	}
-	want := []string{"floatcmp", "nanguard", "panicpolicy", "unitsafety"}
+	want := []string{"detguard", "errdrop", "floatcmp", "hotalloc", "lockheld",
+		"nanguard", "panicpolicy", "spanleak", "unitsafety"}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("registered rules = %v, want %v", names, want)
 	}

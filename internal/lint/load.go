@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader parses and type-checks the packages of one Go module.
@@ -37,6 +38,9 @@ type Loader struct {
 	cache    map[string]*types.Package
 	pkgs     map[string]*Package
 	checking map[string]bool
+
+	mu        sync.Mutex
+	preparsed map[string][]*ast.File
 }
 
 // NewLoader locates the module root at or above dir and reads the module
@@ -74,13 +78,14 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:     fset,
-		Root:     root,
-		ModPath:  modPath,
-		std:      importer.ForCompiler(fset, "source", nil),
-		cache:    make(map[string]*types.Package),
-		pkgs:     make(map[string]*Package),
-		checking: make(map[string]bool),
+		Fset:      fset,
+		Root:      root,
+		ModPath:   modPath,
+		std:       importer.ForCompiler(fset, "source", nil),
+		cache:     make(map[string]*types.Package),
+		pkgs:      make(map[string]*Package),
+		checking:  make(map[string]bool),
+		preparsed: make(map[string][]*ast.File),
 	}, nil
 }
 
@@ -186,10 +191,62 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses the non-test .go files of one directory.  When a
-// directory holds more than one package name (rare outside testdata),
-// the majority package wins and the rest are skipped.
+// PreparseParallel parses the sources of every given directory
+// concurrently and memoizes the results, so the sequential type-check
+// phase finds its ASTs ready.  token.FileSet and parser.ParseFile are
+// safe for concurrent use; errors are deferred to the eventual LoadDir.
+func (l *Loader) PreparseParallel(dirs []string) {
+	var wg sync.WaitGroup
+	for _, dir := range dirs {
+		l.mu.Lock()
+		_, seen := l.preparsed[dir]
+		l.mu.Unlock()
+		if seen {
+			continue
+		}
+		wg.Add(1)
+		go func(dir string) {
+			defer wg.Done()
+			files, err := l.parseDirUncached(dir)
+			if err != nil {
+				return // LoadDir will re-parse and surface the error
+			}
+			l.mu.Lock()
+			l.preparsed[dir] = files
+			l.mu.Unlock()
+		}(dir)
+	}
+	wg.Wait()
+}
+
+// Loaded returns every package the loader has type-checked so far —
+// the requested ones plus everything pulled in as a dependency — sorted
+// by import path.  Fact gathering runs over this set.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
+// parseDir returns the directory's parsed sources, consuming a
+// PreparseParallel result when one exists.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	l.mu.Lock()
+	files, ok := l.preparsed[dir]
+	l.mu.Unlock()
+	if ok {
+		return files, nil
+	}
+	return l.parseDirUncached(dir)
+}
+
+// parseDirUncached parses the non-test .go files of one directory.  When
+// a directory holds more than one package name (rare outside testdata),
+// the majority package wins and the rest are skipped.
+func (l *Loader) parseDirUncached(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,241 @@
+// The lockheld rule: no blocking operation while a sync.Mutex or
+// sync.RWMutex is held.  The telemetry registry and the parallel pool
+// both take short critical sections on hot paths; a channel op, a
+// WaitGroup.Wait or a solver entry inside one turns a bounded lock into
+// an unbounded convoy (or a deadlock once the blocked goroutine is the
+// one that would release the lock).
+//
+// The analysis is lexical per block: a region starts at `x.Lock()` /
+// `x.RLock()` and ends at the matching `x.Unlock()` / `x.RUnlock()`
+// statement in the same block; `defer x.Unlock()` extends the region to
+// the end of the function.  Inside a region the rule flags channel
+// sends and receives, select statements, ranging over a channel, any
+// `.Wait()` call, and calls into the linalg/robust/thermal solver entry
+// points.  Function literals are skipped: they run later, usually after
+// the lock is gone.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type lockheldRule struct{}
+
+func init() { Register(lockheldRule{}) }
+
+func (lockheldRule) Name() string { return "lockheld" }
+
+func (lockheldRule) Doc() string {
+	return "no blocking call (channel op, Wait, solver entry) while a sync.Mutex/RWMutex is held"
+}
+
+func (lockheldRule) Check(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, p.lockheldBlock(body, nil)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexCall classifies an expression statement as a Lock/Unlock-family
+// call on a sync mutex and returns the receiver's printed form as the
+// region key.
+func (p *Package) mutexCall(stmt ast.Stmt) (key, method string) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// lockheldBlock walks one block, tracking which mutexes are held after
+// each statement, and flags blocking operations inside held regions.
+// held maps region key → the Lock call's position line (for messages).
+func (p *Package) lockheldBlock(block *ast.BlockStmt, held map[string]bool) []Finding {
+	cur := make(map[string]bool, len(held))
+	for k := range held {
+		cur[k] = true
+	}
+	var out []Finding
+	for _, stmt := range block.List {
+		if key, method := p.mutexCall(stmt); key != "" {
+			switch method {
+			case "Lock", "RLock":
+				if _, isDefer := stmt.(*ast.DeferStmt); !isDefer {
+					cur[key] = true
+				}
+			case "Unlock", "RUnlock":
+				// A plain Unlock releases; `defer Unlock` keeps the
+				// region open to the end of the function.
+				if _, isDefer := stmt.(*ast.DeferStmt); !isDefer {
+					delete(cur, key)
+				}
+			}
+			continue
+		}
+		if len(cur) > 0 {
+			out = append(out, p.flagBlockingShallow(stmt)...)
+		}
+		out = append(out, p.lockheldNested(stmt, cur)...)
+	}
+	return out
+}
+
+// lockheldNested recurses into the block children of stmt with the
+// current held set.
+func (p *Package) lockheldNested(stmt ast.Stmt, held map[string]bool) []Finding {
+	var out []Finding
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, p.lockheldBlock(s, held)...)
+	case *ast.IfStmt:
+		out = append(out, p.lockheldBlock(s.Body, held)...)
+		if s.Else != nil {
+			out = append(out, p.lockheldNested(s.Else, held)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, p.lockheldBlock(s.Body, held)...)
+	case *ast.RangeStmt:
+		out = append(out, p.lockheldBlock(s.Body, held)...)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, p.lockheldBlock(&ast.BlockStmt{List: cc.Body}, held)...)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, p.lockheldBlock(&ast.BlockStmt{List: cc.Body}, held)...)
+			}
+		}
+	}
+	return out
+}
+
+// flagBlockingShallow inspects one statement (not descending into nested
+// blocks or function literals — the recursion handles blocks) for
+// blocking operations.
+func (p *Package) flagBlockingShallow(stmt ast.Stmt) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, what string) {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(n.Pos()),
+			Rule: "lockheld",
+			Msg:  what + " while a mutex is held",
+			Hint: "release the lock first (copy what you need out of the critical section)",
+		})
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			return false // handled by the block recursion
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			flag(x, "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				flag(x, "channel receive")
+			}
+		case *ast.SelectStmt:
+			flag(x, "select")
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					flag(x, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if what, bad := p.blockingCall(x); bad {
+				flag(x, what)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockingCall reports whether the call is a Wait (sync.WaitGroup and
+// friends) or a solver entry point in linalg/robust/thermal.
+func (p *Package) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name == "Wait" {
+		return "Wait()", true
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	for _, suffix := range []string{"/internal/linalg", "/internal/robust", "/internal/thermal"} {
+		if strings.HasSuffix(path, suffix) {
+			name := sel.Sel.Name
+			if strings.HasPrefix(name, "CG") || strings.HasPrefix(name, "BiCGSTAB") ||
+				strings.Contains(name, "Solve") {
+				return "solver entry " + name, true
+			}
+		}
+	}
+	return "", false
+}

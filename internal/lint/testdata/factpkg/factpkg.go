@@ -1,0 +1,12 @@
+// Package factpkg exists for the unitsafety fact golden test: it
+// exports one constant whose value equals a unit-conversion factor
+// (the fact gatherer records it) and one unit-free constant.  Living
+// under testdata keeps it out of go build and module-wide lint runs.
+package factpkg
+
+// SecondsPerHour duplicates the 3600 conversion factor; the
+// cross-package fact store records it against this object.
+const SecondsPerHour = 3600.0
+
+// Columns is not a conversion factor and carries no fact.
+const Columns = 12

@@ -1,0 +1,72 @@
+// Package scope exercises the hotalloc rule: per-iteration make / map /
+// composite-literal / closure allocations inside loops of a //lint:hot
+// kernel are flagged, hoisted scratch and non-hot functions are fine,
+// and //lint:allow suppresses one allocation.
+package scope
+
+// HotKernel is flagged three times: make, slice literal and closure
+// allocate on every iteration.
+//
+//lint:hot
+func HotKernel(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		buf := make([]float64, 4)
+		w := []float64{1, 2}
+		f := func() float64 { return xs[i] }
+		buf[0] = f() + w[0]
+		s += buf[0]
+	}
+	return s
+}
+
+// HotMap is flagged: a map literal per iteration.
+//
+//lint:hot
+func HotMap(xs []float64) int {
+	n := 0
+	for range xs {
+		m := map[string]int{"k": 1}
+		n += m["k"]
+	}
+	return n
+}
+
+// HotHoisted is fine: the scratch buffer is allocated once, outside the
+// loop, and reused.
+//
+//lint:hot
+func HotHoisted(xs []float64) float64 {
+	buf := make([]float64, 4)
+	s := 0.0
+	for i := range xs {
+		buf[0] = xs[i]
+		s += buf[0]
+	}
+	return s
+}
+
+// ColdKernel has the same body as HotKernel but no directive: out of
+// scope.
+func ColdKernel(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		buf := make([]float64, 4)
+		buf[0] = xs[i]
+		s += buf[0]
+	}
+	return s
+}
+
+// HotSuppressed is tolerated by the trailing allow directive.
+//
+//lint:hot
+func HotSuppressed(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		buf := make([]float64, 1) //lint:allow hotalloc grows rarely; kept simple on purpose
+		buf[0] = xs[i]
+		s += buf[0]
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+// Package scope exercises the lockheld rule: channel ops, Wait calls
+// and solver entries inside a mutex critical section are flagged,
+// lock-free blocking and post-Unlock blocking are fine, and
+// //lint:allow suppresses one site.
+package scope
+
+import (
+	"sync"
+
+	"aeropack/internal/linalg"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// SendHeld is flagged: channel send between Lock and Unlock.
+func (g *guarded) SendHeld(v int) {
+	g.mu.Lock()
+	g.ch <- v
+	g.mu.Unlock()
+}
+
+// RecvDeferHeld is flagged: defer keeps the lock to function end.
+func (g *guarded) RecvDeferHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch
+}
+
+// WaitReadHeld is flagged: WaitGroup.Wait under an RLock.
+func (g *guarded) WaitReadHeld() {
+	g.rw.RLock()
+	g.wg.Wait()
+	g.rw.RUnlock()
+}
+
+// SolveHeld is flagged: a CG solve is unbounded work inside the
+// critical section.
+func (g *guarded) SolveHeld(a *linalg.CSR, b, x0 []float64) []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	x, _, _ := linalg.CG(a, b, x0, nil, 1e-9, 100)
+	return x
+}
+
+// SelectHeld is flagged: select blocks with the lock held.
+func (g *guarded) SelectHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// RecvAfterUnlock is fine: the lock is released first.
+func (g *guarded) RecvAfterUnlock() int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+// NoLock is fine: blocking without any lock held.
+func (g *guarded) NoLock(v int) {
+	g.ch <- v
+	g.wg.Wait()
+}
+
+// Suppressed is tolerated by the trailing allow directive.
+func (g *guarded) Suppressed(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v //lint:allow lockheld the channel is buffered and drained by the same goroutine
+}

@@ -1,0 +1,76 @@
+// Package scope exercises the spanleak rule: a span that is not ended
+// on every return path is flagged, defer/explicit-End/nil-guard/escape
+// patterns are fine, and //lint:allow suppresses one start site.
+package scope
+
+import (
+	"errors"
+
+	"aeropack/internal/obs"
+)
+
+// LeakEarlyReturn is flagged: the error return leaks sp.
+func LeakEarlyReturn(fail bool) error {
+	sp := obs.Start(nil, "scope.leaky")
+	if fail {
+		return errors.New("early")
+	}
+	sp.End()
+	return nil
+}
+
+// LeakFallsOffEnd is flagged: sp is never ended before the closing
+// brace.
+func LeakFallsOffEnd() {
+	sp := obs.Start(nil, "scope.noend")
+	sp.Attr("k", "v")
+}
+
+// DeferOK is fine: the canonical defer covers every path.
+func DeferOK(fail bool) error {
+	sp := obs.Start(nil, "scope.defer")
+	defer sp.End()
+	if fail {
+		return errors.New("early")
+	}
+	return nil
+}
+
+// ExplicitOK is fine: End appears before each return, and the early
+// return sits under the span-disabled nil guard.
+func ExplicitOK(n int) int {
+	sp := obs.Start(nil, "scope.explicit")
+	if sp == nil {
+		return n
+	}
+	sp.AttrInt("n", n)
+	sp.End()
+	return n + 1
+}
+
+// EscapeOK is out of scope: the span is handed to the caller, who owns
+// ending it.
+func EscapeOK() *obs.Span {
+	sp := obs.Start(nil, "scope.escape")
+	sp.Attr("owner", "caller")
+	return sp
+}
+
+// ChildOK is fine: a child span pattern with explicit End before the
+// lone return.
+func ChildOK(parent *obs.Span) int {
+	sp := parent.Start("scope.child")
+	sp.End()
+	return 1
+}
+
+// Suppressed is tolerated by the preceding allow directive.
+func Suppressed(fail bool) error {
+	//lint:allow spanleak deliberate leak demonstrating the escape hatch
+	sp := obs.Start(nil, "scope.allowed")
+	if fail {
+		return errors.New("early")
+	}
+	sp.End()
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package scope exercises the cross-package side of the unitsafety
+// rule: a use of an exported constant from another package whose value
+// is a conversion factor is flagged via the fact store even though this
+// file contains no magic literal; unit-free constants are fine, and
+// //lint:allow suppresses one use.
+package scope
+
+import "aeropack/internal/lint/testdata/factpkg"
+
+// HoursToSeconds is flagged: factpkg.SecondsPerHour carries the
+// magic-constant fact, so the conversion must come from internal/units.
+func HoursToSeconds(h float64) float64 {
+	return h * factpkg.SecondsPerHour
+}
+
+// Grid is fine: factpkg.Columns is not a conversion factor.
+func Grid(rows int) int {
+	return rows * factpkg.Columns
+}
+
+// Suppressed is tolerated by the trailing allow directive.
+func Suppressed(h float64) float64 {
+	return h * factpkg.SecondsPerHour //lint:allow unitsafety test fixture mirrors an external data sheet verbatim
+}

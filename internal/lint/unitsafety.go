@@ -43,6 +43,39 @@ func (unitsafetyRule) Doc() string {
 	return "forbid inline unit-conversion literals (273.15, 3600, 9.80665, ...) outside internal/units"
 }
 
+// checkFactUses flags uses of exported constants from *other* packages
+// whose value equals a conversion factor — sites that contain no
+// literal at all, so the textual scan below cannot see them.  The facts
+// store carries the constant's value across the package boundary.
+func checkFactUses(p *Package, f *ast.File) []Finding {
+	if p.Info == nil || p.Facts == nil {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg() == p.Pkg {
+			return true
+		}
+		hint := p.Facts.MagicHint(obj)
+		if hint == "" {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(id.Pos()),
+			Rule: "unitsafety",
+			Msg:  "use of unit-conversion constant " + obj.Pkg().Name() + "." + obj.Name(),
+			Hint: hint,
+		})
+		return true
+	})
+	return out
+}
+
 func (unitsafetyRule) Check(p *Package) []Finding {
 	// internal/units is where conversions live; internal/lint holds the
 	// magic-number table itself.
@@ -52,6 +85,7 @@ func (unitsafetyRule) Check(p *Package) []Finding {
 	}
 	var out []Finding
 	for _, f := range p.Files {
+		out = append(out, checkFactUses(p, f)...)
 		ast.Inspect(f, func(n ast.Node) bool {
 			lit, ok := n.(*ast.BasicLit)
 			if !ok || (lit.Kind != token.FLOAT && lit.Kind != token.INT) {

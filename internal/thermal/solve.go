@@ -353,6 +353,8 @@ func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptio
 // per direction.  Each cell owns its +x/+y/+z faces, so distinct k
 // ranges touch disjoint faces and the slabs can be assembled into
 // private builders concurrently.
+//
+//lint:hot
 func (m *Model) assembleInterior(coo *linalg.COO, k0, k1 int) {
 	g := m.Grid
 	for k := k0; k < k1; k++ {

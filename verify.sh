@@ -1,9 +1,43 @@
 #!/bin/sh
-# verify.sh — the tier-1 gate: formatting, vet, aeropacklint, build,
-# race-enabled tests.  Any failure stops the script with a non-zero exit.
+# verify.sh — the tier-1 gate: formatting, vet, aeropacklint (full rule
+# suite plus the //lint:allow audit), build, race-enabled tests, coverage
+# floors and a lint-cache benchmark smoke run.  Any failure stops the
+# script with a non-zero exit.
 set -eu
 
 cd "$(dirname "$0")"
+
+# coverage_floor <package> <floor-percent> — fail unless the package has
+# test files AND its statement coverage parses AND meets the floor.  The
+# old inline check piped `go test` straight into sed, which masked test
+# failures behind sed's exit status and let a "[no test files]" package
+# skate through as an unparseable (rather than failing) measurement.
+coverage_floor() {
+    pkg=$1
+    floor=$2
+    if ! out=$(go test -cover "$pkg" 2>&1); then
+        echo "go test -cover $pkg failed:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    case "$out" in
+    *"[no test files]"*)
+        echo "$pkg has no test files; a coverage floor cannot pass vacuously" >&2
+        exit 1
+        ;;
+    esac
+    cov=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -n 1)
+    if [ -z "$cov" ]; then
+        echo "could not parse coverage for $pkg from:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
+        echo "$pkg coverage ${cov}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "$pkg coverage: ${cov}% (floor ${floor}%)"
+}
 
 echo "== gofmt"
 unformatted=$(gofmt -l cmd internal examples ./*.go)
@@ -16,8 +50,11 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== aeropacklint"
+echo "== aeropacklint (all rules)"
 go run ./cmd/aeropacklint -q ./...
+
+echo "== aeropacklint -audit-allows (no stale suppressions)"
+go run ./cmd/aeropacklint -q -audit-allows ./...
 
 echo "== go build"
 go build ./...
@@ -37,16 +74,10 @@ go test -race -cpu=1,4 ./internal/obs
 echo "== go test -race (robustness layer, fault injection)"
 go test -race ./internal/robust
 
-echo "== coverage floor (internal/robust >= 85%)"
-cov=$(go test -cover ./internal/robust | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
-if [ -z "$cov" ]; then
-    echo "could not measure internal/robust coverage" >&2
-    exit 1
-fi
-if ! awk -v c="$cov" 'BEGIN { exit !(c >= 85) }'; then
-    echo "internal/robust coverage ${cov}% is below the 85% floor" >&2
-    exit 1
-fi
-echo "internal/robust coverage: ${cov}%"
+echo "== coverage floors"
+coverage_floor ./internal/robust 85
+
+echo "== lint-cache benchmark smoke (BenchmarkLintModule, 1 iteration)"
+go test -run - -bench BenchmarkLintModule -benchtime 1x ./internal/lint
 
 echo "verify.sh: all gates passed"
