@@ -11,6 +11,13 @@
 //	errdrop      discarded errors and ==-compared sentinels
 //	lockheld     blocking calls while a sync mutex is held
 //	hotalloc     per-iteration allocation in //lint:hot kernels
+//	budgetstop   driver paths into iterative solvers without a Stop/budget
+//	goroleak     goroutines in library code never joined or cancelled
+//
+// spanleak, lockheld, errdrop, budgetstop and goroleak are
+// interprocedural: they follow call-graph summaries across in-module
+// package boundaries, so a violation hidden one call deep — or one
+// package over — is reported at the caller with the full call chain.
 //
 // Usage:
 //

@@ -1,0 +1,112 @@
+// The budgetstop rule: every path from a co-design driver package
+// (internal/cosee, internal/envtest, internal/core) into the linalg
+// iterative solvers must carry an IterOptions.Stop or wall-clock/
+// iteration budget.  A sweep evaluates thousands of candidate designs;
+// one near-singular operator without a budget wedges the whole campaign
+// — and the upcoming placement-optimization and aeropackd workloads
+// inherit whatever discipline these drivers enforce today.
+//
+// The check roots at every exported function of a driver package and
+// uses the call-graph summaries to follow helpers — including closures
+// handed to the parallel pool and helpers in other in-module packages —
+// down to the solver entries.  Plain linalg.CG / linalg.BiCGSTAB take
+// no options and are always unbudgeted; the *Opt variants are budgeted
+// when their IterOptions demonstrably carries a Stop (composite literal
+// with a Stop key, a Stop field assignment, a parameter threaded from
+// the caller, or a builder call).  Unresolvable shapes err toward
+// silence.  Findings land at the driver's call site and carry the full
+// call chain plus a related location at the unbudgeted solver call.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+type budgetstopRule struct{}
+
+func init() { Register(budgetstopRule{}) }
+
+func (budgetstopRule) Name() string { return "budgetstop" }
+
+func (budgetstopRule) Doc() string {
+	return "every linalg iterative solve reachable from a cosee/envtest/core driver must carry an IterOptions.Stop/budget"
+}
+
+// budgetHint is the shared fix hint.
+const budgetHint = "thread a linalg.IterOptions.Stop (wall-clock or iteration budget) down this path, or solve through robust.Chain"
+
+// driverPackage reports whether importPath is one of the sweep/campaign
+// driver packages the rule roots at.
+func driverPackage(importPath string) bool {
+	for _, suffix := range []string{"/internal/cosee", "/internal/envtest", "/internal/core"} {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (budgetstopRule) Check(p *Package) []Finding {
+	if p.Info == nil || !driverPackage(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			out = append(out, checkBudgetRoots(p, fd)...)
+		}
+	}
+	return out
+}
+
+// checkBudgetRoots walks one exported driver function — including its
+// function literals and go statements, where the sweep work actually
+// lives — and flags every call that is, or transitively reaches, an
+// unbudgeted solver entry.  Unexported helpers of the driver package
+// are covered through the summaries of the calls that reach them.
+func checkBudgetRoots(p *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, isEntry := solverEntryCall(p, call); isEntry {
+			if !callCarriesBudget(p, call, fd) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "budgetstop",
+					Msg: "driver " + fd.Name.Name + " calls linalg." + name +
+						" without a Stop/budget",
+					Hint: budgetHint,
+				})
+			}
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		for _, sf := range p.Facts.SolverReach(fn) {
+			chain := prependChain(shortFuncName(fn), sf.Chain)
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "budgetstop",
+				Msg: "driver " + fd.Name.Name + " reaches unbudgeted " + sf.Entry +
+					" via " + strings.Join(chain, " → "),
+				Hint: budgetHint,
+				Related: []Related{{
+					Pos: sf.Pos,
+					Msg: sf.Entry + " is called without IterOptions.Stop here",
+				}},
+			})
+		}
+		return true
+	})
+	return out
+}

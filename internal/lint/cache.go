@@ -28,7 +28,9 @@ import (
 
 // cacheSchemaVersion invalidates every entry when the on-disk format or
 // the analysis semantics change in a way the rule-set salt cannot see.
-const cacheSchemaVersion = "aeropacklint-cache/v1"
+// v2: findings carry related locations; interprocedural summaries feed
+// the rules (the key already covers callee sources via the dep closure).
+const cacheSchemaVersion = "aeropacklint-cache/v2"
 
 // Cache is a directory of per-package finding files keyed by content
 // hash.  The zero value (empty Dir) is a disabled cache.
@@ -52,12 +54,21 @@ func DefaultCacheDir(root string) string {
 // cachedFinding is the serialized form of a Finding; positions are
 // module-root-relative so entries survive checkout moves.
 type cachedFinding struct {
+	File    string          `json:"file"`
+	Line    int             `json:"line"`
+	Column  int             `json:"column"`
+	Rule    string          `json:"rule"`
+	Msg     string          `json:"msg"`
+	Hint    string          `json:"hint,omitempty"`
+	Related []cachedRelated `json:"related,omitempty"`
+}
+
+// cachedRelated is the serialized form of one Related location.
+type cachedRelated struct {
 	File   string `json:"file"`
 	Line   int    `json:"line"`
 	Column int    `json:"column"`
-	Rule   string `json:"rule"`
 	Msg    string `json:"msg"`
-	Hint   string `json:"hint,omitempty"`
 }
 
 // Get returns the cached findings for key, with ok=false on any miss or
@@ -82,6 +93,12 @@ func (c *Cache) Get(key string) ([]Finding, bool) {
 			Msg:  cf.Msg,
 			Hint: cf.Hint,
 		}
+		for _, cr := range cf.Related {
+			findings[i].Related = append(findings[i].Related, Related{
+				Pos: token.Position{Filename: cr.File, Line: cr.Line, Column: cr.Column},
+				Msg: cr.Msg,
+			})
+		}
 	}
 	return findings, true
 }
@@ -100,6 +117,11 @@ func (c *Cache) Put(key string, findings []Finding) error {
 		cfs[i] = cachedFinding{
 			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
 			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+		}
+		for _, r := range f.Related {
+			cfs[i].Related = append(cfs[i].Related, cachedRelated{
+				File: r.Pos.Filename, Line: r.Pos.Line, Column: r.Pos.Column, Msg: r.Msg,
+			})
 		}
 	}
 	data, err := json.Marshal(cfs)

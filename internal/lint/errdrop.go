@@ -116,12 +116,22 @@ func (p *Package) checkDroppedError(call *ast.CallExpr) []Finding {
 	if !p.resultsIncludeError(call) || p.errdropExempt(call) {
 		return nil
 	}
-	return []Finding{{
+	f := Finding{
 		Pos:  p.Fset.Position(call.Pos()),
 		Rule: "errdrop",
 		Msg:  "call discards its error result",
 		Hint: "handle the error, or make the discard explicit with `_ =` plus a reason",
-	}}
+	}
+	// When the callee is a pass-through wrapper, the summary names the
+	// call the dropped error actually comes from.
+	if origin := p.Facts.ErrOriginOf(calleeFunc(p, call)); origin != nil {
+		f.Msg += "; the error originates in " + origin.From
+		f.Related = []Related{{
+			Pos: origin.Pos,
+			Msg: "the dropped error originates here, in " + origin.From,
+		}}
+	}
+	return []Finding{f}
 }
 
 // checkSentinelCompare flags err ==/!= Sentinel.
@@ -143,19 +153,21 @@ func (p *Package) checkSentinelCompare(be *ast.BinaryExpr) []Finding {
 	if sentinel == "" {
 		return nil // error-typed but neither side is a package-level sentinel
 	}
-	msg := "error compared to sentinel " + sentinel + " with " + be.Op.String()
-	hint := "use errors.Is; wrapped errors never match =="
-	if obj := p.sentinelObjectOf(be.X, be.Y); obj != nil {
-		if in := p.Facts.WrappedIn(obj); in != "" {
-			msg += "; the sentinel is wrapped with %w in " + in + ", so == can never match"
-		}
-	}
-	return []Finding{{
+	f := Finding{
 		Pos:  p.Fset.Position(be.OpPos),
 		Rule: "errdrop",
-		Msg:  msg,
-		Hint: hint,
-	}}
+		Msg:  "error compared to sentinel " + sentinel + " with " + be.Op.String(),
+		Hint: "use errors.Is; wrapped errors never match ==",
+	}
+	if obj := p.sentinelObjectOf(be.X, be.Y); obj != nil {
+		if in := p.Facts.WrappedIn(obj); in != "" {
+			f.Msg += "; the sentinel is wrapped with %w in " + in + ", so == can never match"
+			if at, ok := p.Facts.WrappedAt(obj); ok {
+				f.Related = []Related{{Pos: at, Msg: sentinel + " is wrapped with %w here"}}
+			}
+		}
+	}
+	return []Finding{f}
 }
 
 func (p *Package) exprIsError(e ast.Expr) bool {

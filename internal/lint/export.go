@@ -17,12 +17,22 @@ type jsonReport struct {
 }
 
 type jsonFinding struct {
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Column  int           `json:"column"`
+	Rule    string        `json:"rule"`
+	Msg     string        `json:"msg"`
+	Hint    string        `json:"hint,omitempty"`
+	Related []jsonRelated `json:"related,omitempty"`
+}
+
+// jsonRelated is one secondary location of an interprocedural finding —
+// the blocking/solver call deep in a callee, or a sentinel's wrap site.
+type jsonRelated struct {
 	File   string `json:"file"`
 	Line   int    `json:"line"`
 	Column int    `json:"column"`
-	Rule   string `json:"rule"`
 	Msg    string `json:"msg"`
-	Hint   string `json:"hint,omitempty"`
 }
 
 // WriteJSONFindings emits the aeropacklint/v1 JSON report.
@@ -32,6 +42,12 @@ func WriteJSONFindings(w io.Writer, findings []Finding) error {
 		rep.Findings[i] = jsonFinding{
 			File: filepath.ToSlash(f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
 			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+		}
+		for _, r := range f.Related {
+			rep.Findings[i].Related = append(rep.Findings[i].Related, jsonRelated{
+				File: filepath.ToSlash(r.Pos.Filename), Line: r.Pos.Line, Column: r.Pos.Column,
+				Msg: r.Msg,
+			})
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -77,10 +93,19 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// RelatedLocations carries the secondary positions of
+	// interprocedural findings; SARIF viewers render them as linked
+	// sub-locations of the result.
+	RelatedLocations []sarifRelatedLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifRelatedLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          sarifMessage          `json:"message"`
 }
 
 type sarifPhysicalLocation struct {
@@ -127,6 +152,15 @@ func WriteSARIF(w io.Writer, rules []Rule, findings []Finding) error {
 					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
 				},
 			}},
+		}
+		for _, r := range f.Related {
+			results[i].RelatedLocations = append(results[i].RelatedLocations, sarifRelatedLocation{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(r.Pos.Filename)},
+					Region:           sarifRegion{StartLine: r.Pos.Line, StartColumn: r.Pos.Column},
+				},
+				Message: sarifMessage{Text: r.Msg},
+			})
 		}
 	}
 	log := sarifLog{

@@ -14,6 +14,15 @@ func exportFixture() []Finding {
 		Rule: "unitsafety",
 		Msg:  "inline unit-conversion literal 273.15",
 		Hint: "use units.CToK/units.KToC (or units.ZeroCelsius for the constant itself)",
+	}, {
+		Pos:  token.Position{Filename: "internal/core/flow.go", Line: 166, Column: 13},
+		Rule: "budgetstop",
+		Msg:  "driver Study reaches unbudgeted linalg.CGOpt via core.level2 → thermal.linSolve",
+		Hint: "thread a linalg.IterOptions.Stop (wall-clock or iteration budget) down this path, or solve through robust.Chain",
+		Related: []Related{{
+			Pos: token.Position{Filename: "internal/thermal/solve.go", Line: 335, Column: 20},
+			Msg: "linalg.CGOpt is called without IterOptions.Stop here",
+		}},
 	}}
 }
 
@@ -26,12 +35,18 @@ func TestWriteJSONFindings(t *testing.T) {
 	var rep struct {
 		Version  string `json:"version"`
 		Findings []struct {
-			File   string `json:"file"`
-			Line   int    `json:"line"`
-			Column int    `json:"column"`
-			Rule   string `json:"rule"`
-			Msg    string `json:"msg"`
-			Hint   string `json:"hint"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Rule    string `json:"rule"`
+			Msg     string `json:"msg"`
+			Hint    string `json:"hint"`
+			Related []struct {
+				File   string `json:"file"`
+				Line   int    `json:"line"`
+				Column int    `json:"column"`
+				Msg    string `json:"msg"`
+			} `json:"related"`
 		} `json:"findings"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
@@ -40,13 +55,24 @@ func TestWriteJSONFindings(t *testing.T) {
 	if rep.Version != "aeropacklint/v1" {
 		t.Errorf("version = %q, want aeropacklint/v1", rep.Version)
 	}
-	if len(rep.Findings) != 1 {
-		t.Fatalf("findings = %d, want 1", len(rep.Findings))
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2", len(rep.Findings))
 	}
 	f := rep.Findings[0]
 	if f.File != "internal/thermal/solve.go" || f.Line != 42 || f.Column != 7 ||
 		f.Rule != "unitsafety" || f.Msg == "" || f.Hint == "" {
 		t.Errorf("finding fields off: %+v", f)
+	}
+	if len(f.Related) != 0 {
+		t.Errorf("finding without related locations serialized %d of them", len(f.Related))
+	}
+	ipa := rep.Findings[1]
+	if len(ipa.Related) != 1 {
+		t.Fatalf("interprocedural finding related = %d, want 1", len(ipa.Related))
+	}
+	r := ipa.Related[0]
+	if r.File != "internal/thermal/solve.go" || r.Line != 335 || r.Column != 20 || r.Msg == "" {
+		t.Errorf("related fields off: %+v", r)
 	}
 }
 
@@ -95,8 +121,8 @@ func TestWriteSARIFShape(t *testing.T) {
 	}
 
 	results := run["results"].([]any)
-	if len(results) != 1 {
-		t.Fatalf("results = %d, want 1", len(results))
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
 	}
 	res := results[0].(map[string]any)
 	if res["ruleId"] != "unitsafety" {
@@ -119,5 +145,28 @@ func TestWriteSARIFShape(t *testing.T) {
 	region := loc["region"].(map[string]any)
 	if int(region["startLine"].(float64)) != 42 || int(region["startColumn"].(float64)) != 7 {
 		t.Errorf("region = %v, want startLine 42 startColumn 7", region)
+	}
+	if _, present := res["relatedLocations"]; present {
+		t.Error("finding without related locations emitted relatedLocations")
+	}
+
+	// The interprocedural finding carries its secondary position as a
+	// SARIF relatedLocation with both a physicalLocation and a message.
+	ipa := results[1].(map[string]any)
+	rel, ok := ipa["relatedLocations"].([]any)
+	if !ok || len(rel) != 1 {
+		t.Fatalf("relatedLocations = %v, want exactly one", ipa["relatedLocations"])
+	}
+	rl := rel[0].(map[string]any)
+	rloc := rl["physicalLocation"].(map[string]any)
+	if uri := rloc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/thermal/solve.go" {
+		t.Errorf("relatedLocation uri = %v", uri)
+	}
+	rregion := rloc["region"].(map[string]any)
+	if int(rregion["startLine"].(float64)) != 335 {
+		t.Errorf("relatedLocation startLine = %v, want 335", rregion["startLine"])
+	}
+	if txt := rl["message"].(map[string]any)["text"].(string); !strings.Contains(txt, "IterOptions.Stop") {
+		t.Errorf("relatedLocation message = %q", txt)
 	}
 }

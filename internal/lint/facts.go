@@ -36,16 +36,23 @@ type Facts struct {
 	// wrappedSentinel maps a package-level error variable to the import
 	// path of one package that wraps it with fmt.Errorf("%w").
 	wrappedSentinel map[types.Object]string
+	// wrappedSentinelAt records the wrap site itself, for related
+	// locations in exported findings.
+	wrappedSentinelAt map[types.Object]token.Position
 	// magicConst maps an exported constant object to the units hint for
 	// the conversion factor its value equals.
 	magicConst map[types.Object]string
+	// sums is the call-graph summary store (interprocedural fact kind).
+	sums *summaries
 }
 
 // NewFacts returns an empty store.
 func NewFacts() *Facts {
 	return &Facts{
-		wrappedSentinel: make(map[types.Object]string),
-		magicConst:      make(map[types.Object]string),
+		wrappedSentinel:   make(map[types.Object]string),
+		wrappedSentinelAt: make(map[types.Object]token.Position),
+		magicConst:        make(map[types.Object]string),
+		sums:              newSummaries(),
 	}
 }
 
@@ -56,6 +63,87 @@ func (fs *Facts) WrappedIn(obj types.Object) string {
 		return ""
 	}
 	return fs.wrappedSentinel[obj]
+}
+
+// WrappedAt returns the recorded %w wrap site for the sentinel object.
+func (fs *Facts) WrappedAt(obj types.Object) (token.Position, bool) {
+	if fs == nil || obj == nil {
+		return token.Position{}, false
+	}
+	pos, ok := fs.wrappedSentinelAt[obj]
+	return pos, ok
+}
+
+// summaries exposes the call-graph store to rules; nil-safe.
+func (fs *Facts) summaries() *summaries {
+	if fs == nil {
+		return nil
+	}
+	return fs.sums
+}
+
+// CallBlocks reports whether the statically-resolved callee of call
+// (transitively) blocks, with the callee's name prepended to the chain.
+func (fs *Facts) CallBlocks(p *Package, call *ast.CallExpr) *BlockFact {
+	s := fs.summaries()
+	if s == nil {
+		return nil
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return nil
+	}
+	bf := s.blocking(cn)
+	if bf == nil {
+		return nil
+	}
+	return &BlockFact{What: bf.What, Pos: bf.Pos, Chain: prependChain(shortFuncName(fn), bf.Chain)}
+}
+
+// ErrOriginOf reports where the error returned by fn (a pass-through
+// wrapper) originates, nil when unknown or fn produces its own errors.
+func (fs *Facts) ErrOriginOf(fn *types.Func) *ErrOrigin {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return nil
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return nil
+	}
+	return s.errOriginOf(cn)
+}
+
+// SolverReach lists the unbudgeted solver sites reachable through fn.
+func (fs *Facts) SolverReach(fn *types.Func) []SolverFact {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return nil
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return nil
+	}
+	return s.solverReach(cn)
+}
+
+// GoroSignals reports whether fn marks a WaitGroup done or carries a
+// cancellation path (used by goroleak for `go worker()` launches).
+func (fs *Facts) GoroSignals(fn *types.Func) (done, cancel, known bool) {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return false, false, false
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return false, false, false
+	}
+	done, cancel = s.goroSignals(cn)
+	return done, cancel, true
 }
 
 // MagicHint returns the units hint for an exported constant equal to a
@@ -69,11 +157,19 @@ func (fs *Facts) MagicHint(obj types.Object) string {
 
 // Gather scans pkgs and records every fact they prove.  Call it with
 // every loaded package (the Loader's Loaded() slice) before running
-// rules, so consumers in importing packages see a complete store.
+// rules, so consumers in importing packages see a complete store.  The
+// call-graph summaries are indexed and forced here too, eagerly, so the
+// rule phase can run concurrently against a read-only store.
 func (fs *Facts) Gather(pkgs []*Package) {
 	for _, p := range pkgs {
 		fs.gatherWrappedSentinels(p)
 		fs.gatherMagicConsts(p)
+	}
+	if fs.sums != nil {
+		for _, p := range pkgs {
+			fs.sums.index(p)
+		}
+		fs.sums.forceAll()
 	}
 }
 
@@ -107,6 +203,7 @@ func (fs *Facts) gatherWrappedSentinels(p *Package) {
 				}
 				if _, seen := fs.wrappedSentinel[obj]; !seen {
 					fs.wrappedSentinel[obj] = p.ImportPath
+					fs.wrappedSentinelAt[obj] = p.Fset.Position(call.Pos())
 				}
 			}
 			return true

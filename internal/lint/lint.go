@@ -34,6 +34,16 @@ type Finding struct {
 	Rule string
 	Msg  string
 	Hint string
+	// Related points at secondary locations — the callee site an
+	// interprocedural finding reaches through, or a %w wrap site.  It is
+	// carried into the JSON and SARIF exports but not into String().
+	Related []Related
+}
+
+// Related is one secondary location attached to a finding.
+type Related struct {
+	Pos token.Position
+	Msg string
 }
 
 // String renders the finding in the conventional file:line:col form used

@@ -77,9 +77,13 @@ func TestGolden(t *testing.T) {
 		{"panicpolicy_linalg", "panicpolicy", "testdata/panicpolicy_linalg_src.go", "aeropack/internal/linalg"},
 		{"nanguard", "nanguard", "testdata/nanguard_src.go", "aeropack/internal/thermal"},
 		{"spanleak", "spanleak", "testdata/spanleak_src.go", "aeropack/internal/thermal"},
+		{"spanleak_ipa", "spanleak", "testdata/spanleak_ipa_src.go", "aeropack/internal/thermal"},
 		{"detguard", "detguard", "testdata/detguard_src.go", "aeropack/internal/cosee"},
 		{"errdrop", "errdrop", "testdata/errdrop_src.go", "aeropack/internal/cosee"},
 		{"lockheld", "lockheld", "testdata/lockheld_src.go", "aeropack/internal/cosee"},
+		{"lockheld_ipa", "lockheld", "testdata/lockheld_ipa_src.go", "aeropack/internal/cosee"},
+		{"budgetstop", "budgetstop", "testdata/budgetstop_src.go", "aeropack/internal/cosee"},
+		{"goroleak", "goroleak", "testdata/goroleak_src.go", "aeropack/internal/cosee"},
 		{"hotalloc", "hotalloc", "testdata/hotalloc_src.go", "aeropack/internal/cosee"},
 	}
 	for _, tc := range cases {
@@ -134,7 +138,7 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestRulesRegistered pins the rule set: all nine analyzers register
+// TestRulesRegistered pins the rule set: all eleven analyzers register
 // themselves and come back sorted by name.
 func TestRulesRegistered(t *testing.T) {
 	var names []string
@@ -144,8 +148,8 @@ func TestRulesRegistered(t *testing.T) {
 			t.Errorf("rule %s has no doc line", r.Name())
 		}
 	}
-	want := []string{"detguard", "errdrop", "floatcmp", "hotalloc", "lockheld",
-		"nanguard", "panicpolicy", "spanleak", "unitsafety"}
+	want := []string{"budgetstop", "detguard", "errdrop", "floatcmp", "goroleak",
+		"hotalloc", "lockheld", "nanguard", "panicpolicy", "spanleak", "unitsafety"}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("registered rules = %v, want %v", names, want)
 	}

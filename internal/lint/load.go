@@ -17,8 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"aeropack/internal/parallel"
 )
 
 // Loader parses and type-checks the packages of one Go module.
@@ -39,8 +42,14 @@ type Loader struct {
 	pkgs     map[string]*Package
 	checking map[string]bool
 
+	// mu guards cache, pkgs, checking, TypeErrors and preparsed; it is
+	// held only around map/slice accesses, never across a type-check, so
+	// LoadDirsParallel can run independent packages concurrently.
 	mu        sync.Mutex
 	preparsed map[string][]*ast.File
+	// stdMu serializes the source importer: srcimporter keeps an
+	// unlocked package map internally and is not safe for concurrent use.
+	stdMu sync.Mutex
 }
 
 // NewLoader locates the module root at or above dir and reads the module
@@ -103,6 +112,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return p.Pkg, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
@@ -147,14 +158,22 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 }
 
 func (l *Loader) load(dir, path string) (*Package, error) {
+	l.mu.Lock()
 	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
 		return p, nil
 	}
 	if l.checking[path] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
 	l.checking[path] = true
-	defer delete(l.checking, path)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.checking, path)
+		l.mu.Unlock()
+	}()
 
 	files, err := l.parseDir(dir)
 	if err != nil {
@@ -172,7 +191,9 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 		Importer:    l,
 		FakeImportC: true,
 		Error: func(err error) {
+			l.mu.Lock()
 			l.TypeErrors = append(l.TypeErrors, err.Error())
+			l.mu.Unlock()
 		},
 	}
 	// Check never fully fails here: the error callback above swallows
@@ -186,8 +207,10 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 		Pkg:        tpkg,
 		Info:       info,
 	}
+	l.mu.Lock()
 	l.cache[path] = tpkg
 	l.pkgs[path] = p
+	l.mu.Unlock()
 	return p, nil
 }
 
@@ -307,6 +330,124 @@ func (l *Loader) PackageDirs(start string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
+}
+
+// moduleImports returns dir's module-internal imports as directories,
+// from an AST-level scan of its (pre)parsed sources.
+func (l *Loader) moduleImports(dir string) ([]string, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var deps []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if depDir, ok := l.dirFor(ipath); ok && depDir != dir && !seen[depDir] {
+				seen[depDir] = true
+				deps = append(deps, depDir)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps, nil
+}
+
+// LoadDirsParallel type-checks the packages of dirs using every core:
+// it discovers the module-internal dependency closure from import
+// lines, pre-parses it concurrently, then type-checks in topological
+// layers — every package of a layer depends only on finished layers,
+// so the layer's members check on separate goroutines (standard-library
+// imports stay serialized behind the source importer's lock).  A final
+// memoized sequential pass returns the requested packages in input
+// order and surfaces any load error exactly as LoadDir would have.
+func (l *Loader) LoadDirsParallel(dirs []string) ([]*Package, error) {
+	abs := make([]string, len(dirs))
+	for i, d := range dirs {
+		a, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		abs[i] = a
+	}
+
+	// Closure discovery in parse waves: each frontier is parsed
+	// concurrently, then its imports name the next frontier.
+	deps := make(map[string][]string)
+	frontier := abs
+	for len(frontier) > 0 {
+		l.PreparseParallel(frontier)
+		var next []string
+		for _, dir := range frontier {
+			if _, ok := deps[dir]; ok {
+				continue
+			}
+			ds, err := l.moduleImports(dir)
+			if err != nil {
+				deps[dir] = nil // the sequential pass reports it
+				continue
+			}
+			deps[dir] = ds
+			for _, d := range ds {
+				if _, ok := deps[d]; !ok {
+					next = append(next, d)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Kahn layering over the discovered graph.  Directories are sorted
+	// within each layer so the work distribution — and with it the order
+	// of any type-checker diagnostics after the suite's sort — is stable.
+	all := make([]string, 0, len(deps))
+	for d := range deps {
+		all = append(all, d)
+	}
+	sort.Strings(all)
+	done := make(map[string]bool, len(all))
+	for len(done) < len(all) {
+		var layer []string
+		for _, dir := range all {
+			if done[dir] {
+				continue
+			}
+			ready := true
+			for _, d := range deps[dir] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				layer = append(layer, dir)
+			}
+		}
+		if len(layer) == 0 {
+			break // import cycle; the sequential pass reports it
+		}
+		for _, d := range layer {
+			done[d] = true
+		}
+		parallel.For(len(layer), 0, func(i int) {
+			_, _ = l.LoadDir(layer[i]) // errors re-surface below
+		})
+	}
+
+	// Canonical pass: all hits are memoized, all errors deterministic.
+	pkgs := make([]*Package, len(abs))
+	for i, dir := range abs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		pkgs[i] = p
+	}
+	return pkgs, nil
 }
 
 // LoadAll loads every package under start ("" means the module root).

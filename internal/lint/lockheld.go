@@ -206,6 +206,20 @@ func (p *Package) flagBlockingShallow(stmt ast.Stmt) []Finding {
 		case *ast.CallExpr:
 			if what, bad := p.blockingCall(x); bad {
 				flag(x, what)
+			} else if bf := p.Facts.CallBlocks(p, x); bf != nil {
+				// Interprocedural: the callee's summary proves it (or
+				// something it calls) blocks.
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(x.Pos()),
+					Rule: "lockheld",
+					Msg: "call to " + strings.Join(bf.Chain, " → ") +
+						" reaches " + bf.What + " while a mutex is held",
+					Hint: "release the lock first (copy what you need out of the critical section)",
+					Related: []Related{{
+						Pos: bf.Pos,
+						Msg: bf.What + " happens here",
+					}},
+				})
 			}
 		}
 		return true

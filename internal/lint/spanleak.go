@@ -84,30 +84,50 @@ func (spanleakRule) Check(p *Package) []Finding {
 // checkSpanBody analyses one function body.  Nested function literals
 // are separate scopes: starts inside them are checked when ast.Inspect
 // reaches the literal, and their bodies are ignored here.
+//
+// Hand-offs are resolved through the call-graph summaries: passing the
+// span to a callee that ends it counts as an End, a callee that merely
+// uses it leaves the obligation with this function (and is cited in the
+// finding), and a callee that stores or forwards it — or one without a
+// summary — is an ownership transfer that ends the analysis, exactly as
+// in the intraprocedural v2 rule.
 func checkSpanBody(p *Package, body *ast.BlockStmt) []Finding {
 	starts := collectSpanStarts(p, body)
 	if len(starts) == 0 {
 		return nil
 	}
+	sums := p.Facts.summaries()
 	var out []Finding
 	for _, st := range starts {
 		obj := p.Info.Defs[st.name]
 		if obj == nil {
 			obj = p.Info.Uses[st.name]
 		}
-		if obj == nil || spanEscapes(p, body, obj, st.name) {
+		if obj == nil {
 			continue
 		}
-		if hasDeferredEnd(p, body, obj) {
+		fl := sums.spanFlow(p, body, obj)
+		if fl.escapes {
 			continue
 		}
-		if line, leaked := firstLeakyReturn(p, body, obj, st.pos); leaked {
-			out = append(out, Finding{
+		if fl.deferredEnd || hasDeferredEnd(p, body, obj) {
+			continue
+		}
+		if line, leaked := firstLeakyReturn(p, body, obj, st.pos, fl.extraEnds); leaked {
+			f := Finding{
 				Pos:  p.Fset.Position(st.pos),
 				Rule: "spanleak",
 				Msg:  "span " + st.name.Name + " is not ended on the return path at line " + strconv.Itoa(line),
 				Hint: "defer " + st.name.Name + ".End() after the Start, or call End before every return",
-			})
+			}
+			for _, np := range fl.neutrals {
+				f.Msg += "; " + shortFuncName(np.callee) + " uses it without ending it"
+				f.Related = append(f.Related, Related{
+					Pos: p.Fset.Position(np.pos),
+					Msg: shortFuncName(np.callee) + " uses the span but never calls End",
+				})
+			}
+			out = append(out, f)
 		}
 	}
 	return out
@@ -153,51 +173,6 @@ func inspectSkipFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
 	})
 }
 
-// spanEscapes reports whether the span object leaves the function:
-// returned, assigned to something else, stored in a composite literal,
-// or passed as a call argument (method calls on the span itself do not
-// count).  def is the ident at the tracked start site; a later
-// re-assignment `v = ...` does not make v escape.
-func spanEscapes(p *Package, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
-	escapes := false
-	inspectSkipFuncLits(body, func(n ast.Node) {
-		if escapes {
-			return
-		}
-		switch x := n.(type) {
-		case *ast.ReturnStmt:
-			for _, r := range x.Results {
-				if usesObject(p, r, obj) {
-					escapes = true
-				}
-			}
-		case *ast.AssignStmt:
-			for _, r := range x.Rhs {
-				if usesObject(p, r, obj) {
-					escapes = true
-				}
-			}
-			// Storing through a selector (s.field = v) is covered by the
-			// RHS scan; v on an LHS is a plain re-assignment and fine.
-		case *ast.CompositeLit:
-			for _, e := range x.Elts {
-				if usesObject(p, e, obj) {
-					escapes = true
-				}
-			}
-		case *ast.CallExpr:
-			// Method calls on the span (v.End(), v.Attr(...)) keep
-			// ownership; the span appearing as an argument hands it off.
-			for _, a := range x.Args {
-				if usesObject(p, a, obj) {
-					escapes = true
-				}
-			}
-		}
-	})
-	return escapes
-}
-
 // usesObject reports whether expr mentions obj as a bare identifier.
 func usesObject(p *Package, expr ast.Expr, obj types.Object) bool {
 	found := false
@@ -240,10 +215,12 @@ func isEndCallOn(p *Package, call *ast.CallExpr, obj types.Object) bool {
 // start call; a return leaks the span unless an End call on it appears
 // lexically in between, or the return sits under a `v == nil` guard.
 // A function body that falls off its closing brace is treated as one
-// more return at the brace.
-func firstLeakyReturn(p *Package, body *ast.BlockStmt, obj types.Object, startPos token.Pos) (int, bool) {
-	// Positions of every v.End() call (deferred or not).
-	var ends []token.Pos
+// more return at the brace.  extraEnds are additional positions that
+// end the span — calls to callees whose summary proves they End it.
+func firstLeakyReturn(p *Package, body *ast.BlockStmt, obj types.Object, startPos token.Pos, extraEnds []token.Pos) (int, bool) {
+	// Positions of every v.End() call (deferred or not), plus the
+	// interprocedural End sites.
+	ends := append([]token.Pos(nil), extraEnds...)
 	inspectSkipFuncLits(body, func(n ast.Node) {
 		if call, ok := n.(*ast.CallExpr); ok && isEndCallOn(p, call, obj) {
 			ends = append(ends, call.Pos())

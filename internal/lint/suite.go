@@ -1,7 +1,7 @@
 // The module-level pipeline behind cmd/aeropacklint: pattern expansion,
-// cache probing, parallel pre-parse, sequential type-check, fact
-// gathering, rule execution and the //lint:allow audit.  The driver and
-// BenchmarkLintModule share this entry point.
+// cache probing, layered parallel parse + type-check, fact and summary
+// gathering, parallel rule execution and the //lint:allow audit.  The
+// driver and BenchmarkLintModule share this entry point.
 package lint
 
 import (
@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"aeropack/internal/parallel"
 )
 
 // ModuleOptions configures one RunModule call.
@@ -114,16 +116,11 @@ func RunModule(opts ModuleOptions) (*ModuleResult, error) {
 		res.CacheMisses = len(dirs)
 	}
 
-	// Phase 2: parse the misses concurrently, then type-check them
-	// sequentially (the importer memoizes shared dependencies).
-	loader.PreparseParallel(missDirs)
-	var pkgs []*Package
-	for _, dir := range missDirs {
-		p, err := loader.LoadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
-		}
-		pkgs = append(pkgs, p)
+	// Phase 2: parse and type-check the misses in parallel topological
+	// layers (the loader serializes shared standard-library imports).
+	pkgs, err := loader.LoadDirsParallel(missDirs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 3: gather cross-package facts over everything the loader
@@ -136,22 +133,35 @@ func RunModule(opts ModuleOptions) (*ModuleResult, error) {
 		p.Facts = facts
 	}
 
-	// Phase 4: run rules (or the audit) per package.
-	for _, p := range pkgs {
-		if opts.Audit {
+	// Phase 4: run rules (or the audit) per package.  The fact store is
+	// read-only after Gather, so the rule phase fans out per package; the
+	// audit stays sequential (it is the rare administrative path).
+	if opts.Audit {
+		for _, p := range pkgs {
 			res.Stale = append(res.Stale, auditPackage(p, rules)...)
-			continue
 		}
-		findings := RunRules([]*Package{p}, rules)
-		for i := range findings {
-			findings[i].Pos = relPosition(loader.Root, findings[i].Pos)
-		}
-		if key := keyByDir[p.Dir]; key != "" {
-			if err := opts.Cache.Put(key, findings); err != nil {
-				return nil, fmt.Errorf("lint: writing cache: %w", err)
+	} else {
+		perPkg, err := parallel.Map(pkgs, 0, func(_ int, p *Package) ([]Finding, error) {
+			findings := RunRules([]*Package{p}, rules)
+			for i := range findings {
+				findings[i].Pos = relPosition(loader.Root, findings[i].Pos)
+				for j := range findings[i].Related {
+					findings[i].Related[j].Pos = relPosition(loader.Root, findings[i].Related[j].Pos)
+				}
 			}
+			if key := keyByDir[p.Dir]; key != "" {
+				if err := opts.Cache.Put(key, findings); err != nil {
+					return nil, fmt.Errorf("lint: writing cache: %w", err)
+				}
+			}
+			return findings, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		res.Findings = append(res.Findings, findings...)
+		for _, findings := range perPkg {
+			res.Findings = append(res.Findings, findings...)
+		}
 	}
 	res.Findings = append(res.Findings, cached...)
 	SortFindings(res.Findings)
@@ -168,7 +178,10 @@ func RunModule(opts ModuleOptions) (*ModuleResult, error) {
 		}
 		return a.Rule < b.Rule
 	})
-	res.TypeErrors = loader.TypeErrors
+	// Parallel type-checking makes the arrival order of diagnostics
+	// scheduling-dependent; sort so the surfaced warnings are stable.
+	res.TypeErrors = append([]string(nil), loader.TypeErrors...)
+	sort.Strings(res.TypeErrors)
 	return res, nil
 }
 

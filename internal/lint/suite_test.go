@@ -123,6 +123,137 @@ func TestRunModuleCacheDependencyInvalidation(t *testing.T) {
 	}
 }
 
+// TestSummaryCacheInvalidation is the interprocedural twin of the
+// dependency-invalidation test: a caller is flagged because its callee's
+// summary blocks; editing only the callee's body must rotate the
+// caller's key and flip the caller's findings — a cached interprocedural
+// result may never outlive the callee body it was derived from.
+func TestSummaryCacheInvalidation(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"internal/util/util.go": "package util\n\n// Ping blocks on its channel.\nfunc Ping(c chan int) int { return <-c }\n",
+		"internal/app/app.go": strings.Join([]string{
+			"package app",
+			"",
+			"import (",
+			"\t\"sync\"",
+			"",
+			"\t\"tmpmod/internal/util\"",
+			")",
+			"",
+			"var mu sync.Mutex",
+			"",
+			"// Get calls the helper under the lock.",
+			"func Get(c chan int) int {",
+			"\tmu.Lock()",
+			"\tv := util.Ping(c)",
+			"\tmu.Unlock()",
+			"\treturn v",
+			"}",
+			"",
+		}, "\n"),
+	})
+	cache := &Cache{Dir: filepath.Join(root, "lintcache")}
+	opts := ModuleOptions{Dir: root, Patterns: []string{"internal/app"}, Cache: cache}
+
+	cold, err := RunModule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Findings) != 1 || cold.Findings[0].Rule != "lockheld" ||
+		!strings.Contains(cold.Findings[0].Msg, "util.Ping") {
+		t.Fatalf("cold findings = %v, want one interprocedural lockheld hit through util.Ping", cold.Findings)
+	}
+	if len(cold.Findings[0].Related) != 1 {
+		t.Errorf("interprocedural finding should carry the blocking site as a related location, got %v",
+			cold.Findings[0].Related)
+	}
+
+	warm, err := RunModule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 1 || len(warm.Findings) != 1 {
+		t.Fatalf("warm run: hits=%d findings=%v, want a hit reproducing the finding", warm.CacheHits, warm.Findings)
+	}
+	if len(warm.Findings[0].Related) != 1 {
+		t.Errorf("related locations must survive the cache round-trip, got %v", warm.Findings[0].Related)
+	}
+
+	// Make the callee non-blocking.  app's own bytes are untouched, but
+	// its summary-derived finding must disappear, so the key must rotate.
+	src := "package util\n\n// Ping no longer blocks.\nfunc Ping(c chan int) int { return len(c) }\n"
+	if err := os.WriteFile(filepath.Join(root, "internal", "util", "util.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := RunModule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.CacheMisses != 1 {
+		t.Errorf("callee body edit did not invalidate the caller: hits=%d misses=%d",
+			edited.CacheHits, edited.CacheMisses)
+	}
+	if len(edited.Findings) != 0 {
+		t.Errorf("findings = %v, want none after the callee stopped blocking", edited.Findings)
+	}
+}
+
+// TestSummaryMutualRecursionTerminates feeds the summary engine a
+// mutually recursive pair; the computation must terminate (the on-stack
+// marker breaks the cycle) and still see the blocking op through the
+// recursion.
+func TestSummaryMutualRecursionTerminates(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"internal/rec/rec.go": strings.Join([]string{
+			"package rec",
+			"",
+			"import \"sync\"",
+			"",
+			"var mu sync.Mutex",
+			"",
+			"// Even and Odd recurse into each other; Odd blocks at the base",
+			"// case.",
+			"func Even(n int, c chan int) bool {",
+			"\tif n == 0 {",
+			"\t\treturn true",
+			"\t}",
+			"\treturn Odd(n-1, c)",
+			"}",
+			"",
+			"func Odd(n int, c chan int) bool {",
+			"\tif n == 0 {",
+			"\t\t<-c",
+			"\t\treturn false",
+			"\t}",
+			"\treturn Even(n-1, c)",
+			"}",
+			"",
+			"// Run holds the lock across the recursive descent.",
+			"func Run(c chan int) bool {",
+			"\tmu.Lock()",
+			"\tv := Even(3, c)",
+			"\tmu.Unlock()",
+			"\treturn v",
+			"}",
+			"",
+		}, "\n"),
+	})
+	res, err := RunModule(ModuleOptions{Dir: root, Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Rule == "lockheld" {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 || !strings.Contains(hits[0].Msg, "rec.Even") ||
+		!strings.Contains(hits[0].Msg, "channel receive") {
+		t.Errorf("lockheld findings = %v, want one reaching the receive through rec.Even", hits)
+	}
+}
+
 // TestRunModuleAudit seeds one directive of each failure class plus a
 // healthy one and checks the audit classifies them exactly.
 func TestRunModuleAudit(t *testing.T) {

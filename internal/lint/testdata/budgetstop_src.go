@@ -1,0 +1,50 @@
+// Package scope exercises the budgetstop rule: every path from an
+// exported driver function into the linalg iterative solvers must carry
+// an IterOptions.Stop/budget.  Direct unbudgeted entries and entries
+// hidden one call deep in another package are flagged with the call
+// chain; budgeted composites and budget-threading helpers are fine, and
+// //lint:allow suppresses one call.
+package scope
+
+import (
+	"aeropack/internal/linalg"
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+// SweepDirect is flagged: the driver enters CG with no budget at all.
+func SweepDirect(a *linalg.CSR, b []float64) ([]float64, error) {
+	x, _, err := linalg.CG(a, b, nil, nil, 1e-9, 500)
+	return x, err
+}
+
+// SweepViaHelper is flagged one call deep across the package boundary:
+// ipahelp.SolveLoose reaches linalg.CG without a Stop.
+func SweepViaHelper(a *linalg.CSR, b []float64) ([]float64, error) {
+	return ipahelp.SolveLoose(a, b)
+}
+
+// SweepBudgetedOK is fine: the options composite carries a Stop.
+func SweepBudgetedOK(a *linalg.CSR, b []float64, stop func() bool) ([]float64, error) {
+	x, _, err := linalg.CGOpt(a, b, nil, &linalg.IterOptions{Tol: 1e-9, MaxIter: 500, Stop: stop})
+	return x, err
+}
+
+// SweepHelperBudgetedOK is fine: the helper threads its stop argument
+// down into the solve.
+func SweepHelperBudgetedOK(a *linalg.CSR, b []float64, stop func() bool) ([]float64, error) {
+	return ipahelp.SolveBudgeted(a, b, stop)
+}
+
+// sweepUnexported is out of scope: only exported functions root the
+// driver check, so an unbudgeted solve here is reported at whichever
+// exported caller reaches it, not at this body.
+func sweepUnexported(a *linalg.CSR, b []float64) ([]float64, error) {
+	x, _, err := linalg.CG(a, b, nil, nil, 1e-9, 500)
+	return x, err
+}
+
+// Suppressed is tolerated by the trailing allow directive.
+func Suppressed(a *linalg.CSR, b []float64) ([]float64, error) {
+	x, _, err := linalg.CG(a, b, nil, nil, 1e-9, 500) //lint:allow budgetstop qualification harness wants the raw, unbudgeted entry
+	return x, err
+}

@@ -16,6 +16,22 @@ var ErrScope = errors.New("scope failed")
 
 func mayFail() error { return nil }
 
+// errDeep seeds mayFailDeep with a non-call return, so the origin chase
+// stops at the function itself.
+var errDeep = errors.New("scope: deep failure")
+
+func mayFailDeep() error { return errDeep }
+
+// wrapDeep is a pass-through wrapper: the error it returns actually
+// comes from mayFailDeep.
+func wrapDeep() error { return mayFailDeep() }
+
+// DroppedViaWrapper is flagged with the interprocedural origin: the
+// summary sees through wrapDeep to mayFailDeep.
+func DroppedViaWrapper() {
+	wrapDeep()
+}
+
 // Dropped is flagged: the error result vanishes.
 func Dropped() {
 	mayFail()

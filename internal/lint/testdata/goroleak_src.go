@@ -1,0 +1,59 @@
+// Package scope exercises the goroleak rule: a goroutine started in
+// library code must be joined by its launcher (Wait/channel/select) or
+// prove via its own body — or its named callee's call-graph summary —
+// that it signals a WaitGroup or runs a cancellation path.
+// //lint:allow suppresses one launch.
+package scope
+
+import (
+	"sync"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+// FireAndForget is flagged: nothing joins or cancels the goroutine.
+func FireAndForget(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// HelperDrift is flagged across the package boundary: ipahelp.Drift
+// neither signals a WaitGroup nor consumes a cancellation channel.
+func HelperDrift(c chan int) {
+	go ipahelp.Drift(c)
+}
+
+// JoinedOK is fine: the launcher waits for the group.
+func JoinedOK(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// SelfManagedOK is fine: the goroutine marks the caller-owned group
+// done, so whoever Adds also Waits.
+func SelfManagedOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// HelperWorkerOK is fine across the package boundary: ipahelp.Worker's
+// summary proves it marks the group done and drains its feed channel.
+func HelperWorkerOK(wg *sync.WaitGroup, c chan int) {
+	wg.Add(1)
+	go ipahelp.Worker(wg, c)
+}
+
+// Suppressed is tolerated by the preceding allow directive.
+func Suppressed(work func()) {
+	//lint:allow goroleak detached telemetry flusher, bounded by process exit
+	go func() { work() }()
+}

@@ -1,0 +1,75 @@
+// Package ipahelp is the cross-package helper for the interprocedural
+// golden tests: each function has a deliberately simple body whose
+// call-graph summary (span behavior, blocking, solver reach, goroutine
+// signals) the spanleak/lockheld/budgetstop/goroleak fixtures consume
+// from one call away.  Living under testdata keeps it out of go build
+// and module-wide lint runs.
+package ipahelp
+
+import (
+	"sync"
+
+	"aeropack/internal/linalg"
+	"aeropack/internal/obs"
+)
+
+// kept receives spans handed to Keep; the escape is the point.
+var kept *obs.Span
+
+// Annotate uses the span without ending it: the caller still owes the
+// End (summary: neutral).
+func Annotate(sp *obs.Span) {
+	sp.Attr("phase", "ipa")
+}
+
+// Finish ends the span on every path (summary: ends).
+func Finish(sp *obs.Span) {
+	sp.End()
+}
+
+// Keep stores the span; ownership transfers (summary: escapes).
+func Keep(sp *obs.Span) {
+	kept = sp
+}
+
+// Recv blocks on a channel receive (summary: blocking).
+func Recv(c chan int) int {
+	return <-c
+}
+
+// RecvIndirect blocks one call deeper (summary: blocking via Recv).
+func RecvIndirect(c chan int) int {
+	return Recv(c)
+}
+
+// Pure cannot block.
+func Pure() int {
+	return 1
+}
+
+// SolveLoose enters CG with no budget (summary: unbudgeted solver
+// reach).
+func SolveLoose(a *linalg.CSR, b []float64) ([]float64, error) {
+	x, _, err := linalg.CG(a, b, nil, nil, 1e-9, 500)
+	return x, err
+}
+
+// SolveBudgeted threads its caller's stop into the solve (summary: no
+// unbudgeted reach).
+func SolveBudgeted(a *linalg.CSR, b []float64, stop func() bool) ([]float64, error) {
+	x, _, err := linalg.CGOpt(a, b, nil, &linalg.IterOptions{Tol: 1e-9, MaxIter: 500, Stop: stop})
+	return x, err
+}
+
+// Worker marks the group done and drains the feed channel (summary:
+// done and cancel signals).
+func Worker(wg *sync.WaitGroup, c chan int) {
+	defer wg.Done()
+	<-c
+}
+
+// Drift neither signals a WaitGroup nor consumes a cancellation channel
+// (summary: no signals — launching it unjoined is a leak).
+func Drift(c chan int) {
+	c <- 1
+}

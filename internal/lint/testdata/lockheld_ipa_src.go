@@ -1,0 +1,47 @@
+// Package scope exercises the interprocedural side of the lockheld
+// rule: a helper whose call-graph summary proves it (transitively)
+// blocks is flagged when called under a held mutex, with the call chain
+// in the message; a helper that cannot block stays silent.
+// //lint:allow suppresses one call.
+package scope
+
+import (
+	"sync"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+var mu sync.Mutex
+
+// RecvViaHelper is flagged: the helper blocks on a channel receive one
+// call away while mu is held.
+func RecvViaHelper(c chan int) int {
+	mu.Lock()
+	v := ipahelp.Recv(c)
+	mu.Unlock()
+	return v
+}
+
+// RecvTwoDeep is flagged through two hops: RecvIndirect → Recv.
+func RecvTwoDeep(c chan int) int {
+	mu.Lock()
+	v := ipahelp.RecvIndirect(c)
+	mu.Unlock()
+	return v
+}
+
+// PureHelperOK is fine: the helper's summary proves it cannot block.
+func PureHelperOK() int {
+	mu.Lock()
+	v := ipahelp.Pure()
+	mu.Unlock()
+	return v
+}
+
+// Suppressed is tolerated by the trailing allow directive.
+func Suppressed(c chan int) int {
+	mu.Lock()
+	v := ipahelp.Recv(c) //lint:allow lockheld fixture: the channel is buffered and always ready
+	mu.Unlock()
+	return v
+}

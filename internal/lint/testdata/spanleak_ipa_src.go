@@ -1,0 +1,58 @@
+// Package scope exercises the interprocedural side of the spanleak
+// rule: a span handed to another package's helper is resolved through
+// the helper's call-graph summary — a helper that merely uses the span
+// leaves the End obligation here (and is cited in the finding), a
+// helper that ends it counts as the End, and a helper that stores it
+// takes ownership.  //lint:allow suppresses one start site.
+package scope
+
+import (
+	"errors"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+	"aeropack/internal/obs"
+)
+
+// LeakViaHelper is flagged: ipahelp.Annotate uses the span but never
+// ends it, so the early return still leaks sp.
+func LeakViaHelper(fail bool) error {
+	sp := obs.Start(nil, "scope.ipa.leak")
+	ipahelp.Annotate(sp)
+	if fail {
+		return errors.New("early")
+	}
+	sp.End()
+	return nil
+}
+
+// DeferredHelperEndOK is fine: the deferred helper ends the span on
+// every path — an interprocedural defer sp.End().
+func DeferredHelperEndOK(fail bool) error {
+	sp := obs.Start(nil, "scope.ipa.deferred")
+	defer ipahelp.Finish(sp)
+	if fail {
+		return errors.New("early")
+	}
+	return nil
+}
+
+// ExplicitHelperEndOK is fine: the helper End covers the lone return.
+func ExplicitHelperEndOK() int {
+	sp := obs.Start(nil, "scope.ipa.explicit")
+	ipahelp.Finish(sp)
+	return 1
+}
+
+// HandoffOK is out of scope: the helper stores the span, so ownership
+// moved with the call.
+func HandoffOK() {
+	sp := obs.Start(nil, "scope.ipa.handoff")
+	ipahelp.Keep(sp)
+}
+
+// Suppressed is tolerated by the preceding allow directive.
+func Suppressed() {
+	//lint:allow spanleak deliberate leak through a helper for the golden test
+	sp := obs.Start(nil, "scope.ipa.allowed")
+	ipahelp.Annotate(sp)
+}

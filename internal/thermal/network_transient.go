@@ -161,7 +161,11 @@ func (n *Network) SolveTransient(T0, dt float64, steps int, schedule map[string]
 			}
 		}
 		a := coo.ToCSR()
-		x, _, err := linalg.CG(a, b, T, linalg.NewJacobiPrec(a), 1e-11, 40*num+400)
+		x, _, err := linalg.CGOpt(a, b, T, &linalg.IterOptions{
+			Tol: 1e-11, MaxIter: 40*num + 400,
+			Prec: linalg.NewJacobiPrec(a),
+			Stop: defaultSolveStop(),
+		})
 		if err != nil {
 			// Transient operators with scheduled ambients can lose
 			// symmetry in corner cases; fall back to a dense solve.

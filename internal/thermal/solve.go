@@ -142,6 +142,22 @@ type SolveOptions struct {
 	// iteration of every outer pass; pair with linalg.ConvergenceLog to
 	// capture convergence traces.
 	OnIteration func(it int, residual float64)
+	// Stop is forwarded to the linear solver (see
+	// linalg.IterOptions.Stop).  When nil, a defaultSolveBudget
+	// wall-clock guard is installed, so one near-singular operator in a
+	// sweep aborts with linalg.ErrStopped instead of wedging the
+	// campaign.
+	Stop func() bool
+}
+
+// defaultSolveBudget is the wall-clock ceiling applied to linear solves
+// whose caller supplies no Stop of its own.
+const defaultSolveBudget = 5 * time.Minute
+
+// defaultSolveStop returns a fresh wall-clock guard for one solve.
+func defaultSolveStop() func() bool {
+	deadline := time.Now().Add(defaultSolveBudget)
+	return func() bool { return time.Now().After(deadline) }
 }
 
 // workerCount resolves the assembly/kernel worker budget: 1 unless
@@ -302,7 +318,10 @@ func (m *Model) assembleObs(Tsurf []float64, workers int, parent *obs.Span) (*li
 var assemblyBuckets = obs.ExpBuckets(1e-6, 10, 9)
 
 func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptions, parent *obs.Span) ([]float64, linalg.IterStats, error) {
-	io := &linalg.IterOptions{Tol: o.Tol, MaxIter: o.MaxIter, OnIteration: o.OnIteration}
+	io := &linalg.IterOptions{Tol: o.Tol, MaxIter: o.MaxIter, OnIteration: o.OnIteration, Stop: o.Stop}
+	if io.Stop == nil {
+		io.Stop = defaultSolveStop()
+	}
 	switch o.Solver {
 	case "cg":
 	case "cg-jacobi":

@@ -50,7 +50,7 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== aeropacklint (all rules)"
+echo "== aeropacklint (all eleven rules, interprocedural)"
 go run ./cmd/aeropacklint -q ./...
 
 echo "== aeropacklint -audit-allows (no stale suppressions)"
@@ -79,5 +79,8 @@ coverage_floor ./internal/robust 85
 
 echo "== lint-cache benchmark smoke (BenchmarkLintModule, 1 iteration)"
 go test -run - -bench BenchmarkLintModule -benchtime 1x ./internal/lint
+
+echo "== lint-phase benchmark smoke (BenchmarkLintPhases, 1 iteration)"
+go test -run - -bench BenchmarkLintPhases -benchtime 1x ./internal/lint
 
 echo "verify.sh: all gates passed"
