@@ -26,6 +26,7 @@ import (
 	"aeropack/internal/mesh"
 	"aeropack/internal/nanopack"
 	"aeropack/internal/obs"
+	"aeropack/internal/parallel"
 	"aeropack/internal/reliability"
 	"aeropack/internal/report"
 	"aeropack/internal/thermal"
@@ -757,6 +758,7 @@ func solverModel() *thermal.Model {
 func BenchmarkAblation_SolverCG(b *testing.B)       { benchSolver(b, "cg") }
 func BenchmarkAblation_SolverJacobi(b *testing.B)   { benchSolver(b, "cg-jacobi") }
 func BenchmarkAblation_SolverSSOR(b *testing.B)     { benchSolver(b, "cg-ssor") }
+func BenchmarkAblation_SolverIC0(b *testing.B)      { benchSolver(b, "cg-ic0") }
 func BenchmarkAblation_SolverBiCGSTAB(b *testing.B) { benchSolver(b, "bicgstab") }
 
 func benchSolver(b *testing.B, solver string) {
@@ -1292,20 +1294,37 @@ func bigSolverModel() *thermal.Model {
 
 func BenchmarkPar_SolveSteadySerial(b *testing.B) {
 	m := bigSolverModel()
+	reg := benchRegistry(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.SolveSteady(nil); err != nil {
 			b.Fatal(err)
 		}
 	}
+	// After ResetTimer, which clears previously reported metrics.
+	b.ReportMetric(1, "workers")
+	reportSolverWork(b, reg)
 }
 
 func BenchmarkPar_SolveSteadyParallel(b *testing.B) {
 	m := bigSolverModel()
+	reg := benchRegistry(b)
+	// Resolve and pin the effective worker count, and report it as a
+	// metric: the historical BENCH_obs.json pair was recorded at
+	// procs: 1, where Workers(0) == 1 and the "parallel" run never
+	// actually fanned out — the metric makes that visible instead of
+	// silently comparing two serial runs.  Run with -cpu=N (N > 1) for
+	// an honest parallel-vs-serial comparison.
+	w := parallel.Workers(0)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.SolveSteady(&thermal.SolveOptions{Parallel: true}); err != nil {
+		if _, err := m.SolveSteady(&thermal.SolveOptions{Parallel: true, Workers: w}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	// After ResetTimer, which clears previously reported metrics.
+	b.ReportMetric(float64(w), "workers")
+	reportSolverWork(b, reg)
 }
 
 func BenchmarkPar_CampaignSerial(b *testing.B) {

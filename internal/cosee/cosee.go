@@ -25,6 +25,7 @@ import (
 
 	"aeropack/internal/convection"
 	"aeropack/internal/fluids"
+	"aeropack/internal/linalg"
 	"aeropack/internal/materials"
 	"aeropack/internal/obs"
 	"aeropack/internal/parallel"
@@ -80,6 +81,15 @@ type Config struct {
 	// dissipated power, and a non-nil return fails that point as if the
 	// solver had.  Production configurations leave it nil.
 	FaultFn func(powerW float64) error
+
+	// setup is the solver-setup cache shared by every network this
+	// configuration builds: a capability bisection or Fig. 10 sweep
+	// solves dozens of near-identical systems (same topology, different
+	// power), and the cache lets them share the IC(0) symbolic pattern
+	// and any value-identical preconditioner factors.  Created lazily by
+	// Defaults; copies of a defaulted Config (SweepParallel workers)
+	// share the pointer, which the cache is designed for.
+	setup *linalg.SolverSetup
 }
 
 // Defaults fills zero fields with the COSEE rig values.
@@ -124,6 +134,9 @@ func (c *Config) Defaults() {
 	}
 	if c.SpanM == 0 {
 		c.SpanM = 0.5
+	}
+	if c.setup == nil {
+		c.setup = linalg.NewSolverSetup()
 	}
 }
 
@@ -250,6 +263,7 @@ func (c *Config) BuildNetwork(power float64) (*thermal.Network, error) {
 	c.Defaults()
 	Ta := units.CToK(c.AmbientC)
 	n := thermal.NewNetwork()
+	n.Setup = c.setup
 	n.FixT("air", Ta)
 	n.AddSource("pcb", power)
 
@@ -367,6 +381,14 @@ func (c *Config) Solve(power float64) (Point, error) {
 // solveObs is Solve with an explicit telemetry parent, so sweeps and
 // campaign runners can nest their solves under one span.
 func (c *Config) solveObs(parent *obs.Span, power float64) (Point, error) {
+	return c.solveObsWarm(parent, power, nil)
+}
+
+// solveObsWarm is solveObs with a Picard warm-start state threaded
+// through.  Only sequential drivers (the capability bisection) may pass
+// a non-nil state — the parallel sweep paths keep nil so point results
+// never depend on worker scheduling.
+func (c *Config) solveObsWarm(parent *obs.Span, power float64, warm *thermal.NetworkState) (Point, error) {
 	sp := obs.Start(parent, "cosee.Solve")
 	defer sp.End()
 	sp.AttrF("power_w", power)
@@ -383,7 +405,7 @@ func (c *Config) solveObs(parent *obs.Span, power float64) (Point, error) {
 		return Point{}, err
 	}
 	n.Obs = sp
-	res, err := n.SolveSteadyTol(1e-3, 200)
+	res, err := n.SolveSteadyWarm(1e-3, 200, warm)
 	if err != nil {
 		return Point{}, err
 	}
@@ -474,24 +496,32 @@ func (c *Config) capabilityObs(parent *obs.Span, deltaT float64) (float64, error
 	sp := obs.Start(parent, "cosee.CapabilityAt")
 	defer sp.End()
 	sp.AttrF("deltaT_K", deltaT)
+	// The bisection is strictly sequential, so every solve continues
+	// from the previous one's Picard state — adjacent power levels are
+	// a couple of passes apart instead of a cold start each.
+	warm := &thermal.NetworkState{}
 	lo, hi := 1.0, 400.0
-	pLo, err := c.solveObs(sp, lo)
+	pLo, err := c.solveObsWarm(sp, lo, warm)
 	if err != nil {
 		return 0, err
 	}
 	if pLo.DeltaTK > deltaT {
 		return 0, fmt.Errorf("cosee: ΔT target %g K unreachable even at %g W", deltaT, lo)
 	}
-	pHi, err := c.solveObs(sp, hi)
+	pHi, err := c.solveObsWarm(sp, hi, warm)
 	if err != nil {
 		return 0, err
 	}
 	if pHi.DeltaTK < deltaT {
 		return hi, nil
 	}
-	for i := 0; i < 60; i++ {
+	// Bisect to 0.01 W — an order of magnitude finer than the paper's
+	// whole-watt Fig. 10 figures.  The previous fixed 60-pass loop drove
+	// the bracket to machine epsilon, spending ~4× the steady solves for
+	// precision far below the model's fidelity.
+	for i := 0; hi-lo > 0.01 && i < 60; i++ {
 		mid := 0.5 * (lo + hi)
-		pm, err := c.solveObs(sp, mid)
+		pm, err := c.solveObsWarm(sp, mid, warm)
 		if err != nil {
 			return 0, err
 		}

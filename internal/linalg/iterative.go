@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // ErrStopped is wrapped into the error returned when an iterative solve
@@ -49,13 +50,47 @@ func (p *JacobiPrec) Apply(r, z []float64) {
 	}
 }
 
+// Refresh recomputes the inverse diagonal from a matrix with new values,
+// reusing the existing storage — it allocates nothing, which is the
+// point of hoisting one instance out of a time-stepping loop.  The
+// caller must own the instance exclusively (no concurrent Apply) — shared
+// instances handed out by SolverSetup are immutable and must not be
+// refreshed.
+func (p *JacobiPrec) Refresh(a *CSR) error {
+	if a.Rows != len(p.InvDiag) {
+		return fmt.Errorf("linalg: Jacobi refresh dimension %d, want %d", a.Rows, len(p.InvDiag))
+	}
+	for i := 0; i < a.Rows; i++ {
+		v := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				v = a.Val[k]
+				break
+			}
+		}
+		if v == 0 {
+			p.InvDiag[i] = 1
+		} else {
+			p.InvDiag[i] = 1 / v
+		}
+	}
+	return nil
+}
+
 // SSORPrec is a symmetric successive-over-relaxation preconditioner for
 // symmetric matrices with relaxation factor omega in (0,2).
+//
+// Apply needs an intermediate vector for the forward-sweep result; the
+// instance keeps one cached in an atomic slot so the common serial case
+// never re-allocates, while concurrent Apply calls on a shared instance
+// (parallel sweep workers reusing one preconditioner) each claim or
+// allocate their own scratch instead of silently sharing it — the
+// original plain `tmp []float64` field was a data race.
 type SSORPrec struct {
-	a     *CSR
-	diag  []float64
-	omega float64
-	tmp   []float64
+	a       *CSR
+	diag    []float64
+	omega   float64
+	scratch atomic.Pointer[[]float64]
 }
 
 // NewSSORPrec builds an SSOR preconditioner; omega outside (0,2) is clamped
@@ -70,13 +105,42 @@ func NewSSORPrec(a *CSR, omega float64) *SSORPrec {
 			d[i] = 1
 		}
 	}
-	return &SSORPrec{a: a, diag: d, omega: omega, tmp: make([]float64, a.Rows)}
+	p := &SSORPrec{a: a, diag: d, omega: omega}
+	tmp := make([]float64, a.Rows)
+	p.scratch.Store(&tmp)
+	return p
+}
+
+// Refresh rebinds the preconditioner to a matrix with identical sparsity
+// structure but new values.  The caller must own the instance exclusively
+// (no concurrent Apply); SolverSetup-cached instances are immutable.
+func (p *SSORPrec) Refresh(a *CSR) error {
+	if a.Rows != p.a.Rows || a.Cols != p.a.Cols {
+		return fmt.Errorf("linalg: SSOR refresh dimensions %d×%d, want %d×%d", a.Rows, a.Cols, p.a.Rows, p.a.Cols)
+	}
+	p.a = a
+	d := a.Diag()
+	for i, v := range d {
+		if v == 0 {
+			d[i] = 1
+		}
+	}
+	p.diag = d
+	return nil
 }
 
 // Apply performs one forward and one backward SOR sweep.
 func (p *SSORPrec) Apply(r, z []float64) {
 	n := p.a.Rows
-	y := p.tmp
+	// Claim the cached scratch vector; a concurrent Apply that finds the
+	// slot empty allocates its own, so two goroutines never write the
+	// same buffer.
+	var y []float64
+	if t := p.scratch.Swap(nil); t != nil {
+		y = *t
+	} else {
+		y = make([]float64, n)
+	}
 	// Forward sweep: (D/ω + L) y = r.
 	for i := 0; i < n; i++ {
 		s := r[i]
@@ -100,6 +164,7 @@ func (p *SSORPrec) Apply(r, z []float64) {
 		}
 		z[i] = s * p.omega / p.diag[i]
 	}
+	p.scratch.Store(&y)
 }
 
 // checkFinite rejects NaN or Inf entries in the supplied vectors before a

@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"sync"
+	"testing"
+)
+
+// Concurrent Apply on one shared SSORPrec must be race-free and give
+// each caller a correct result.  Before the scratch buffer became
+// per-call claimable, two sweep workers sharing a preconditioner wrote
+// interleaved garbage into one tmp slice — this test (under the -race
+// run in verify.sh) is the regression pin.
+func TestSSORPrecConcurrentApply(t *testing.T) {
+	a, _ := randomSPD(7, 80, 0.08)
+	p := NewSSORPrec(a, 1.2)
+	n := a.Rows
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%11) - 5
+	}
+	want := make([]float64, n)
+	p.Apply(r, want)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			z := make([]float64, n)
+			for it := 0; it < 50; it++ {
+				p.Apply(r, z)
+				for i := range z {
+					if z[i] != want[i] {
+						t.Errorf("concurrent Apply diverged at %d: %v != %v", i, z[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Refresh must rebind same-structure values bitwise-identically to a
+// fresh construction, without allocating (Jacobi), and reject dimension
+// mismatches — the contract the transient stepper's hoisted
+// preconditioner relies on.
+func TestJacobiPrecRefresh(t *testing.T) {
+	a, _ := randomSPD(8, 60, 0.1)
+	p := NewJacobiPrec(a)
+	a2 := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColIdx: a.ColIdx, Val: make([]float64, len(a.Val))}
+	for i := range a.Val {
+		a2.Val[i] = 3 * a.Val[i]
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := p.Refresh(a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("JacobiPrec.Refresh allocates %v times per call, want 0", allocs)
+	}
+	fresh := NewJacobiPrec(a2)
+	r := make([]float64, a.Rows)
+	for i := range r {
+		r[i] = float64(i) - 30
+	}
+	zp := make([]float64, a.Rows)
+	zf := make([]float64, a.Rows)
+	p.Apply(r, zp)
+	fresh.Apply(r, zf)
+	for i := range zp {
+		if zp[i] != zf[i] {
+			t.Fatalf("refreshed Apply diverges from fresh at %d", i)
+		}
+	}
+	small, _ := randomSPD(9, 59, 0.1)
+	if err := p.Refresh(small); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSSORPrecRefresh(t *testing.T) {
+	a, _ := randomSPD(10, 60, 0.1)
+	p := NewSSORPrec(a, 1.3)
+	a2 := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColIdx: a.ColIdx, Val: make([]float64, len(a.Val))}
+	for i := range a.Val {
+		a2.Val[i] = 0.5 * a.Val[i]
+	}
+	if err := p.Refresh(a2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSSORPrec(a2, 1.3)
+	r := make([]float64, a.Rows)
+	for i := range r {
+		r[i] = float64(i%13) + 1
+	}
+	zp := make([]float64, a.Rows)
+	zf := make([]float64, a.Rows)
+	p.Apply(r, zp)
+	fresh.Apply(r, zf)
+	for i := range zp {
+		if zp[i] != zf[i] {
+			t.Fatalf("refreshed Apply diverges from fresh at %d", i)
+		}
+	}
+	small, _ := randomSPD(12, 61, 0.1)
+	if err := p.Refresh(small); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

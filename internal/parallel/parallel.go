@@ -28,10 +28,19 @@ import (
 )
 
 // Workers resolves a worker-count knob: n itself when positive,
-// otherwise runtime.GOMAXPROCS(0).
+// otherwise min(runtime.GOMAXPROCS(0), runtime.NumCPU()).  The cap
+// matters under `go test -cpu=N` (and any other GOMAXPROCS raised above
+// the machine's core count): spawning more workers than cores buys no
+// parallelism but pays real synchronisation, which is exactly how the
+// Par_SolveSteadyParallel benchmark came to lose to serial.  An explicit
+// positive n is honoured untouched — oversubscription on purpose stays
+// possible.
 func Workers(n int) int {
 	if n > 0 {
 		return n
+	}
+	if ncpu := runtime.NumCPU(); runtime.GOMAXPROCS(0) > ncpu {
+		return ncpu
 	}
 	return runtime.GOMAXPROCS(0)
 }

@@ -9,14 +9,23 @@ import (
 )
 
 func TestWorkers(t *testing.T) {
+	// Explicit positive counts are honoured untouched, even above the
+	// core count (deliberate oversubscription stays possible).
 	if got := Workers(3); got != 3 {
 		t.Errorf("Workers(3) = %d", got)
 	}
-	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
-		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	// The default resolves to min(GOMAXPROCS, NumCPU): under `go test
+	// -cpu=N` with N above the machine's cores, spawning N workers would
+	// only buy synchronisation overhead.
+	want := runtime.GOMAXPROCS(0)
+	if ncpu := runtime.NumCPU(); want > ncpu {
+		want = ncpu
 	}
-	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
-		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want min(GOMAXPROCS, NumCPU) = %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Errorf("Workers(-5) = %d, want min(GOMAXPROCS, NumCPU) = %d", got, want)
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 type Attempt struct {
 	Name   string  // rung identity for spans and error text, e.g. "bicgstab-jacobi"
 	Method string  // "cg" or "bicgstab"
-	Prec   string  // "", "jacobi" or "ssor"
+	Prec   string  // "", "jacobi", "ssor" or "ic0"
 	Omega  float64 // SSOR relaxation factor; 0 means 1.2
 
 	// TolScale relaxes the chain tolerance for this rung (solve at
@@ -50,6 +50,12 @@ type Chain struct {
 	// (composed with the attempt's wall-clock budget) — the seam
 	// FaultyStop uses to force early bailout.
 	Stop func() bool
+	// Setup, if non-nil, caches preconditioner factors (and, for IC(0),
+	// the symbolic pattern) across Solve calls on matrices with repeated
+	// content — the reuse seam sweep loops and transient steppers thread
+	// through.  Preconditioners obtained from a Setup are shared and
+	// immutable; without one, each attempt builds its own.
+	Setup *linalg.SolverSetup
 }
 
 // Outcome reports which rung of a Chain produced the returned solution.
@@ -80,10 +86,13 @@ func defaultLadder() []Attempt {
 }
 
 // ChainFor builds a chain whose first rung mirrors a configured solver
-// name ("cg", "cg-jacobi", "cg-ssor" or "bicgstab" — the thermal
-// SolveOptions.Solver vocabulary), followed by the rungs of the default
-// ladder that differ from it.  omega is the SSOR relaxation factor for
-// "cg-ssor"; unknown names fall back to the full default ladder.
+// name ("cg", "cg-jacobi", "cg-ssor", "cg-ic0" or "bicgstab" — the
+// thermal SolveOptions.Solver vocabulary), followed by the rungs of the
+// default ladder that differ from it.  omega is the SSOR relaxation
+// factor for "cg-ssor"; unknown names fall back to the full default
+// ladder.  An IC(0) first rung that cannot be factorized (breakdown
+// through the whole shift ladder) degrades to Jacobi within the rung
+// rather than failing — see buildPrec.
 func ChainFor(solver string, omega, tol float64, maxIter int) *Chain {
 	var first Attempt
 	switch solver {
@@ -93,6 +102,8 @@ func ChainFor(solver string, omega, tol float64, maxIter int) *Chain {
 		first = Attempt{Name: "cg-jacobi", Method: "cg", Prec: "jacobi"}
 	case "cg-ssor":
 		first = Attempt{Name: "cg-ssor", Method: "cg", Prec: "ssor", Omega: omega}
+	case "cg-ic0":
+		first = Attempt{Name: "cg-ic0", Method: "cg", Prec: "ic0"}
 	case "bicgstab":
 		first = Attempt{Name: "bicgstab", Method: "bicgstab"}
 	default:
@@ -181,7 +192,7 @@ func (c *Chain) solveOnce(att Attempt, a *linalg.CSR, b, x0 []float64, tol float
 	opts := &linalg.IterOptions{
 		Tol:         tol,
 		MaxIter:     maxIter,
-		Prec:        buildPrec(att, a),
+		Prec:        c.buildPrec(att, a),
 		OnIteration: c.OnIteration,
 		Stop:        composeStop(c.Stop, att.Budget),
 	}
@@ -195,16 +206,42 @@ func (c *Chain) solveOnce(att Attempt, a *linalg.CSR, b, x0 []float64, tol float
 	}
 }
 
-func buildPrec(att Attempt, a *linalg.CSR) linalg.Preconditioner {
+// buildPrec constructs the rung's preconditioner, going through the
+// chain's Setup cache when one is attached.  IC(0) factorization can
+// fail even on an SPD matrix (breakdown through the whole shift ladder);
+// the rung then degrades to Jacobi — strictly weaker but never failing —
+// instead of aborting the attempt, and robust_ic0_degraded_total counts
+// the event.
+func (c *Chain) buildPrec(att Attempt, a *linalg.CSR) linalg.Preconditioner {
+	omega := att.Omega
+	if omega == 0 {
+		omega = 1.2
+	}
+	if c.Setup != nil {
+		p, err := c.Setup.PrecFor(att.Prec, a, omega)
+		if err == nil {
+			return p
+		}
+		if att.Prec == "ic0" {
+			obs.Default().Counter("robust_ic0_degraded_total").Add(1)
+			if pj, jerr := c.Setup.PrecFor("jacobi", a, omega); jerr == nil {
+				return pj
+			}
+		}
+		return linalg.NewJacobiPrec(a)
+	}
 	switch att.Prec {
 	case "jacobi":
 		return linalg.NewJacobiPrec(a)
 	case "ssor":
-		omega := att.Omega
-		if omega == 0 {
-			omega = 1.2
-		}
 		return linalg.NewSSORPrec(a, omega)
+	case "ic0":
+		p, err := linalg.NewICPrec(a)
+		if err != nil {
+			obs.Default().Counter("robust_ic0_degraded_total").Add(1)
+			return linalg.NewJacobiPrec(a)
+		}
+		return p
 	default:
 		return nil
 	}

@@ -259,6 +259,7 @@ func TestChainForVocabulary(t *testing.T) {
 		{"cg", "cg", 3},
 		{"cg-jacobi", "cg-jacobi", 4},
 		{"cg-ssor", "cg-ssor", 4},
+		{"cg-ic0", "cg-ic0", 4},
 		{"bicgstab", "bicgstab", 4},
 		{"gmres", "cg", 3}, // unknown name → default ladder
 	}
@@ -274,6 +275,75 @@ func TestChainForVocabulary(t *testing.T) {
 		if last.TolScale <= 1 || !last.Refine {
 			t.Errorf("ChainFor(%q) last rung %+v, want the relaxed-then-refined retry", tc.solver, last)
 		}
+	}
+}
+
+func TestChainForIC0Solves(t *testing.T) {
+	a, b := spdSystem(150)
+	x, out, err := ChainFor("cg-ic0", 0, 1e-10, 2000).Solve(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AttemptUsed != 0 || out.AttemptName != "cg-ic0" {
+		t.Errorf("outcome = %+v, want first-rung cg-ic0 success", out)
+	}
+	if r := residual(a, x, b); r > 1e-9 {
+		t.Errorf("residual %g too large", r)
+	}
+}
+
+// indefiniteSystem is a matrix IC(0) cannot factor even with the shift
+// ladder (negative diagonal), paired with b = 0 so CG converges at once
+// under any preconditioner — isolating the degrade path itself.
+func indefiniteSystem() (*linalg.CSR, []float64) {
+	coo := linalg.NewCOO(3, 3)
+	coo.Add(0, 0, -2)
+	coo.Add(1, 1, 1)
+	coo.Add(2, 2, 1)
+	return coo.ToCSR(), make([]float64, 3)
+}
+
+func TestChainIC0DegradesToJacobi(t *testing.T) {
+	reg := withRegistry(t)
+	a, b := indefiniteSystem()
+	// Without a Setup cache: buildPrec constructs IC(0) directly, hits
+	// the breakdown, and falls back to Jacobi within the first rung.
+	_, out, err := ChainFor("cg-ic0", 0, 1e-10, 50).Solve(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AttemptUsed != 0 {
+		t.Errorf("degrade must stay within the first rung, outcome = %+v", out)
+	}
+	if got := reg.Counter("robust_ic0_degraded_total").Value(); got != 1 {
+		t.Errorf("robust_ic0_degraded_total = %d, want 1", got)
+	}
+	// With a Setup cache: the PrecFor error path degrades the same way.
+	c := ChainFor("cg-ic0", 0, 1e-10, 50)
+	c.Setup = linalg.NewSolverSetup()
+	if _, out, err = c.Solve(a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.AttemptUsed != 0 {
+		t.Errorf("setup-path degrade must stay within the first rung, outcome = %+v", out)
+	}
+	if got := reg.Counter("robust_ic0_degraded_total").Value(); got != 2 {
+		t.Errorf("robust_ic0_degraded_total = %d, want 2", got)
+	}
+}
+
+func TestChainSetupReusesPreconditioner(t *testing.T) {
+	reg := withRegistry(t)
+	a, b := spdSystem(150)
+	c := ChainFor("cg-ic0", 0, 1e-10, 2000)
+	c.Setup = linalg.NewSolverSetup()
+	for trial := 0; trial < 3; trial++ {
+		if _, _, err := c.Solve(a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("linalg_setup_prec_reuse_total").Value(); got != 2 {
+		t.Errorf("linalg_setup_prec_reuse_total = %d, want 2 (three solves, one build)", got)
 	}
 }
 

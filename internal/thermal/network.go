@@ -31,6 +31,15 @@ type Network struct {
 	// solver records its telemetry.  When nil, the solver span attaches
 	// to the process-global tracer.
 	Obs *obs.Span
+
+	// Setup, when non-nil, caches preconditioner factors and exact-repeat
+	// solve results across solve calls.  Sweep drivers (internal/cosee)
+	// install one shared setup on every network they build for the same
+	// configuration, so near-identical bisection and sweep points reuse
+	// the IC(0) symbolic pattern and factors instead of re-deriving them.
+	// Safe for concurrent solves; nil means each solve call builds a
+	// private one.
+	Setup *linalg.SolverSetup
 }
 
 type resistor struct {
@@ -133,8 +142,32 @@ func (n *Network) SolveSteady() (*SteadyResult, error) {
 	return n.SolveSteadyTol(1e-3, 60)
 }
 
+// NetworkState carries the converged Picard state (node temperatures and
+// frozen resistances) of one steady solve, for warm-starting the next.
+// It is only meaningful between networks of identical topology — same
+// nodes in the same order, same resistor list — such as the ones a
+// capability bisection rebuilds at successive power levels.
+type NetworkState struct {
+	T  []float64
+	Rs []float64
+}
+
 // SolveSteadyTol is SolveSteady with explicit Picard controls.
 func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, error) {
+	return n.solveSteady(tolK, maxIter, nil)
+}
+
+// SolveSteadyWarm is SolveSteadyTol continuing from (and updating) a
+// prior solve's Picard state: near-identical systems then converge in a
+// couple of passes instead of restarting from the cold seeds.  Callers
+// must use one NetworkState sequentially — sharing it across concurrent
+// solves would make results depend on scheduling order (the parallel
+// sweep paths deliberately pass nil for exactly that reason).
+func (n *Network) SolveSteadyWarm(tolK float64, maxIter int, warm *NetworkState) (*SteadyResult, error) {
+	return n.solveSteady(tolK, maxIter, warm)
+}
+
+func (n *Network) solveSteady(tolK float64, maxIter int, warm *NetworkState) (*SteadyResult, error) {
 	num := len(n.labels)
 	if num == 0 {
 		return nil, fmt.Errorf("thermal: empty network")
@@ -180,9 +213,44 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 		}
 	}
 
+	// Continue from a compatible prior state: temperatures and frozen
+	// resistances seed within a few Picard passes of the new fixed point
+	// when only sources or fixed temperatures moved.  Fixed nodes are
+	// re-pinned — this network's boundary values win over the old ones.
+	if warm != nil && len(warm.T) == num && len(warm.Rs) == len(rs) {
+		copy(T, warm.T)
+		for id, t := range n.fixed {
+			T[id] = t
+		}
+		copy(rs, warm.Rs)
+	}
+	saveWarm := func() {
+		if warm != nil {
+			warm.T = append(warm.T[:0], T...)
+			warm.Rs = append(warm.Rs[:0], rs...)
+		}
+	}
+
+	setup := n.Setup
+	if setup == nil {
+		setup = linalg.NewSolverSetup()
+	}
+	// Variable resistances are under-relaxed for stability, but a fixed
+	// 0.5 factor makes the whole Picard iteration converge at rate ~0.5
+	// per pass (~16 passes to drive a 60 K ΔT under 1e-3 K).  theta
+	// adapts instead: while successive passes shrink the temperature
+	// update monotonically the relaxation opens up toward 1 (plain
+	// Picard), and any growth — the h(T) oscillation the damping exists
+	// for — halves it again.  The schedule depends only on the iteration
+	// history, so solves stay deterministic.
+	theta := 0.5
+	prevDelta := math.Inf(1)
 	var result *SteadyResult
 	for pass := 0; pass < maxIter; pass++ {
-		Tnew, err := n.solveLinear(sp, rs)
+		// T warm-starts the linear solve: on the first pass it is the
+		// seeded field, afterwards the previous Picard iterate, which is
+		// within tolK of the solution near convergence.
+		Tnew, err := n.solveLinear(sp, rs, T, setup)
 		if err != nil {
 			return nil, err
 		}
@@ -199,6 +267,7 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 		}
 		result = &SteadyResult{T: n.labelled(T), Flow: flows, Iterations: pass + 1}
 		if !hasVariable {
+			saveWarm()
 			return result, nil
 		}
 		// Update variable resistances.
@@ -211,17 +280,25 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 			if rNew <= 0 || math.IsNaN(rNew) || math.IsInf(rNew, 0) {
 				return nil, fmt.Errorf("thermal: variable resistor %d returned invalid resistance %g", i, rNew)
 			}
-			// Under-relax for stability.
-			rNew = 0.5*rs[i] + 0.5*rNew
+			// Under-relax for stability (adaptive theta, see above).
+			rNew = (1-theta)*rs[i] + theta*rNew
 			if math.Abs(rNew-rs[i]) > 1e-9*rs[i] {
 				changed = true
 			}
 			rs[i] = rNew
 		}
+		if maxDelta < prevDelta {
+			theta = math.Min(1, 1.5*theta)
+		} else {
+			theta = math.Max(0.25, 0.5*theta)
+		}
+		prevDelta = maxDelta
 		if maxDelta < tolK && !changed {
+			saveWarm()
 			return result, nil
 		}
 		if maxDelta < tolK && pass > 2 {
+			saveWarm()
 			return result, nil
 		}
 	}
@@ -229,8 +306,10 @@ func (n *Network) SolveSteadyTol(tolK float64, maxIter int) (*SteadyResult, erro
 }
 
 // solveLinear solves the network with frozen resistances.  sp parents
-// the fallback spans when the primary solve fails.
-func (n *Network) solveLinear(sp *obs.Span, rs []float64) ([]float64, error) {
+// the fallback spans when the primary solve fails; x0 (may be nil) warm
+// starts the iteration and setup carries the preconditioner/result
+// caches shared across passes and sweep points.
+func (n *Network) solveLinear(sp *obs.Span, rs []float64, x0 []float64, setup *linalg.SolverSetup) ([]float64, error) {
 	num := len(n.labels)
 	coo := linalg.NewCOO(num, num)
 	b := make([]float64, num)
@@ -273,14 +352,24 @@ func (n *Network) solveLinear(sp *obs.Span, rs []float64) ([]float64, error) {
 	}
 
 	a := coo.ToCSR()
+	tol := 1e-12
+	var key linalg.SolveKey
+	if setup != nil {
+		key = setup.Key("network:cg-ic0", a, b, x0, tol)
+		if x, _, ok := setup.Cached(key); ok {
+			return x, nil
+		}
+	}
 	// Network matrices are symmetric positive definite after Dirichlet
-	// elimination; CG with Jacobi handles the typical sizes instantly.
-	// On failure the robust chain walks the fallback ladder (its first
-	// rung reproduces the primary solve exactly) before the last-resort
-	// dense solve for tiny ill-conditioned nets.
-	chain := robust.ChainFor("cg-jacobi", 0, 1e-12, 20*num+200)
+	// elimination; IC(0) is near-exact on their mostly tree-like graphs,
+	// so the warm-started CG converges in a handful of iterations.  On
+	// IC(0) breakdown the rung degrades to Jacobi; on solve failure the
+	// robust chain walks the fallback ladder before the last-resort dense
+	// solve for tiny ill-conditioned nets.
+	chain := robust.ChainFor("cg-ic0", 0, tol, 20*num+200)
 	chain.Span = sp
-	x, _, err := chain.Solve(a, b, nil)
+	chain.Setup = setup
+	x, out, err := chain.Solve(a, b, x0)
 	if err != nil {
 		if num <= 600 {
 			xd, derr := linalg.SolveDense(a.ToDense(), b)
@@ -289,6 +378,9 @@ func (n *Network) solveLinear(sp *obs.Span, rs []float64) ([]float64, error) {
 			}
 		}
 		return nil, err
+	}
+	if setup != nil && out.AttemptUsed == 0 && !out.Relaxed {
+		setup.Store(key, x, out.Stats)
 	}
 	return x, nil
 }

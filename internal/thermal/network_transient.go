@@ -103,6 +103,12 @@ func (n *Network) SolveTransient(T0, dt float64, steps int, schedule map[string]
 	record(0)
 
 	isFixed := func(id int) bool { _, ok := n.fixed[id]; return ok }
+	// The operator pattern never changes across steps (only values do, and
+	// only when variable resistors or scheduled ambients move), so the
+	// preconditioner is hoisted out of the step loop and refreshed in
+	// place instead of being rebuilt every step.  This loop owns prec
+	// exclusively, which is what Refresh requires.
+	var prec *linalg.JacobiPrec
 	for step := 1; step <= steps; step++ {
 		tm := float64(step) * dt
 		// Update scheduled ambient temperatures.
@@ -161,9 +167,12 @@ func (n *Network) SolveTransient(T0, dt float64, steps int, schedule map[string]
 			}
 		}
 		a := coo.ToCSR()
+		if prec == nil || prec.Refresh(a) != nil {
+			prec = linalg.NewJacobiPrec(a)
+		}
 		x, _, err := linalg.CGOpt(a, b, T, &linalg.IterOptions{
 			Tol: 1e-11, MaxIter: 40*num + 400,
-			Prec: linalg.NewJacobiPrec(a),
+			Prec: prec,
 			Stop: defaultSolveStop(),
 		})
 		if err != nil {

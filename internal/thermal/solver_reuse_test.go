@@ -1,0 +1,111 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"aeropack/internal/linalg"
+	"aeropack/internal/units"
+)
+
+// finNetwork is a small conduction chain with one flow-dependent
+// resistor, so steady solves take several Picard passes.
+func finNetwork(power float64) *Network {
+	n := NewNetwork()
+	n.SetCapacitance("chip", 20)
+	n.SetCapacitance("plate", 120)
+	n.AddResistor("chip", "plate", 0.8)
+	if err := n.AddVariableResistor("plate", "amb", 1.5, func(Ta, Tb, Q float64) float64 {
+		// Convective film whose resistance drops gently with drive.
+		return 1.5 / (1 + 0.02*math.Abs(Ta-Tb))
+	}); err != nil {
+		panic(err)
+	}
+	n.AddSource("chip", power)
+	n.FixT("amb", 300)
+	return n
+}
+
+// The transient stepper reuses one hoisted Jacobi preconditioner across
+// steps (the system pattern never changes mid-run) instead of rebuilding
+// it every step.  Pin the marginal allocation count per step so the
+// rebuild cannot quietly come back: before the hoist the stepper sat
+// ~3 allocations/step higher.
+func TestTransientPerStepAllocationsPinned(t *testing.T) {
+	n := rcNetwork(200, 2, 10, 300)
+	n.SetCapacitance("fin", 40)
+	n.AddResistor("mass", "fin", 0.7)
+	n.AddResistor("fin", "amb", 1.1)
+	run := func(steps int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := n.SolveTransient(300, 1, steps, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	perStep := (run(250) - run(50)) / 200
+	t.Logf("marginal allocations per transient step: %.2f", perStep)
+	if perStep > 40 {
+		t.Errorf("transient stepper allocates %.2f per step, budget 40 — is the preconditioner being rebuilt every step again?", perStep)
+	}
+}
+
+// Warm-started steady solves must (a) reproduce the cold-start solution
+// and (b) converge in fewer Picard passes when continuing from a nearby
+// operating point — the property the capability bisection leans on.
+func TestSolveSteadyWarmMatchesColdWithFewerPasses(t *testing.T) {
+	cold10, err := finNetwork(10).SolveSteadyTol(1e-4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &NetworkState{}
+	if _, err := finNetwork(9.5).SolveSteadyWarm(1e-4, 60, warm); err != nil {
+		t.Fatal(err)
+	}
+	warm10, err := finNetwork(10).SolveSteadyWarm(1e-4, 60, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, Tc := range cold10.T {
+		if !units.ApproxEqual(warm10.T[name], Tc, 1e-3) {
+			t.Errorf("node %s: warm %v vs cold %v", name, warm10.T[name], Tc)
+		}
+	}
+	if warm10.Iterations >= cold10.Iterations {
+		t.Errorf("warm start took %d passes, cold start %d — state not being reused", warm10.Iterations, cold10.Iterations)
+	}
+	// An incompatible state (different topology) must be ignored, not
+	// corrupt the solve.
+	stale := &NetworkState{T: []float64{1, 2}, Rs: []float64{3}}
+	res, err := finNetwork(10).SolveSteadyWarm(1e-4, 60, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, Tc := range cold10.T {
+		if !units.ApproxEqual(res.T[name], Tc, 1e-3) {
+			t.Errorf("node %s after stale warm state: %v vs %v", name, res.T[name], Tc)
+		}
+	}
+}
+
+// A shared SolverSetup across repeated solves of the same network must
+// not change the answer — caching is an optimisation, never a semantic.
+func TestNetworkSharedSetupSameResult(t *testing.T) {
+	ref, err := finNetwork(12).SolveSteadyTol(1e-4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := finNetwork(12)
+	shared.Setup = linalg.NewSolverSetup()
+	for trial := 0; trial < 3; trial++ {
+		got, err := shared.SolveSteadyTol(1e-4, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, Tr := range ref.T {
+			if got.T[name] != Tr {
+				t.Errorf("trial %d node %s: %v, fresh-setup reference %v", trial, name, got.T[name], Tr)
+			}
+		}
+	}
+}
