@@ -22,6 +22,7 @@ import (
 	"aeropack/internal/compact"
 	"aeropack/internal/core"
 	"aeropack/internal/obs"
+	"aeropack/internal/obs/obshttp"
 	"aeropack/internal/report"
 	"aeropack/internal/robust"
 	"aeropack/internal/units"
@@ -119,6 +120,8 @@ func main() {
 	eqDemo := flag.Bool("equipment-demo", false, "print an example equipment spec and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
+	eventsPath := flag.String("events", "", "write an aeropack-events/v1 JSON dump of the flight-recorder ring on exit")
+	serveAddr := flag.String("serve", "", "serve the live ops endpoint (/metrics /healthz /events /progress) on this address while the study runs, e.g. :8080")
 	flag.Parse()
 
 	if *demo {
@@ -129,18 +132,30 @@ func main() {
 		fmt.Print(demoEquipment)
 		return
 	}
-	flush := obs.Setup(*tracePath, *metricsPath)
+	flush := obs.Setup(*tracePath, *metricsPath, *eventsPath)
+	var ops *obshttp.Ops
 	fail := func(code int, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
+		_ = ops.Close() // best effort on the error path; nil-safe
 		if ferr := flush(); ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 		}
 		os.Exit(code)
 	}
+	if *serveAddr != "" {
+		var err error
+		if ops, err = obshttp.EnableOps(*serveAddr); err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "aeropack: ops endpoint listening on %s\n", ops.Addr())
+	}
 	if *eqPath != "" {
 		runEquipment(*eqPath, *ambient, fail)
+		if err := ops.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "aeropack: closing ops endpoint:", err)
+		}
 		if err := flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -191,6 +206,9 @@ func main() {
 	}
 	if !rep.Feasible {
 		fail(3, nil)
+	}
+	if err := ops.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeropack: closing ops endpoint:", err)
 	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

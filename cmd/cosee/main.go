@@ -6,7 +6,8 @@
 // Usage:
 //
 //	cosee [-structure Al6061|CarbonComposite] [-tilt 22] [-pmax 110] [-step 10]
-//	      [-trace trace.json] [-metrics metrics.json]
+//	      [-trace trace.json] [-metrics metrics.json] [-events events.json]
+//	      [-serve :8080]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"aeropack/internal/cosee"
 	"aeropack/internal/materials"
 	"aeropack/internal/obs"
+	"aeropack/internal/obs/obshttp"
 	"aeropack/internal/report"
 	"aeropack/internal/robust"
 )
@@ -32,15 +34,26 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "survive per-point solver failures: failed points print to stderr and show NaN, all other points are unchanged; exit code 4 on a partial run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
+	eventsPath := flag.String("events", "", "write an aeropack-events/v1 JSON dump of the flight-recorder ring on exit")
+	serveAddr := flag.String("serve", "", "serve the live ops endpoint (/metrics /healthz /events /progress) on this address while the run executes, e.g. :8080")
 	flag.Parse()
 
-	flush := obs.Setup(*tracePath, *metricsPath)
+	flush := obs.Setup(*tracePath, *metricsPath, *eventsPath)
+	var ops *obshttp.Ops
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
+		_ = ops.Close() // best effort on the error path; nil-safe
 		if ferr := flush(); ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 		}
 		os.Exit(1)
+	}
+	if *serveAddr != "" {
+		var err error
+		if ops, err = obshttp.EnableOps(*serveAddr); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cosee: ops endpoint listening on %s\n", ops.Addr())
 	}
 
 	mat, err := materials.Get(*structure)
@@ -72,9 +85,12 @@ func main() {
 		}
 		return cfg.SweepParallel(powers, *workers)
 	}
-	// exit flushes telemetry and terminates with code 4 when -keep-going
-	// swallowed failures, 0 on a clean run.
+	// exit joins the ops endpoint, flushes telemetry and terminates with
+	// code 4 when -keep-going swallowed failures, 0 on a clean run.
 	exit := func() {
+		if err := ops.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cosee: closing ops endpoint:", err)
+		}
 		if err := flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"aeropack/internal/cosee"
 	"aeropack/internal/envtest"
 	"aeropack/internal/obs"
+	"aeropack/internal/obs/obshttp"
 	"aeropack/internal/report"
 	"aeropack/internal/robust"
 )
@@ -69,21 +70,32 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "survive per-test failures: errored tests show as ERROR rows, every other test still runs; exit code 4 on a partial campaign")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write an aeropack-metrics/v1 JSON snapshot of the run's counters/gauges/histograms")
+	eventsPath := flag.String("events", "", "write an aeropack-events/v1 JSON dump of the flight-recorder ring on exit")
+	serveAddr := flag.String("serve", "", "serve the live ops endpoint (/metrics /healthz /events /progress) on this address while the campaign runs, e.g. :8080")
 	flag.Parse()
 
 	if *demo {
 		fmt.Print(demoArticle)
 		return
 	}
-	flush := obs.Setup(*tracePath, *metricsPath)
+	flush := obs.Setup(*tracePath, *metricsPath, *eventsPath)
+	var ops *obshttp.Ops
 	fail := func(code int, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
+		_ = ops.Close() // best effort on the error path; nil-safe
 		if ferr := flush(); ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 		}
 		os.Exit(code)
+	}
+	if *serveAddr != "" {
+		var err error
+		if ops, err = obshttp.EnableOps(*serveAddr); err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "qualify: ops endpoint listening on %s\n", ops.Addr())
 	}
 	if *articlePath == "" {
 		fail(2, fmt.Errorf("qualify: provide -article <file> or -demo"))
@@ -147,6 +159,9 @@ func main() {
 		fail(3, nil)
 	}
 	fmt.Println("ALL TESTS PASSED")
+	if err := ops.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "qualify: closing ops endpoint:", err)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

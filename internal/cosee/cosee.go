@@ -426,6 +426,8 @@ func (c *Config) Sweep(powers []float64) ([]Point, error) {
 	sp := obs.Start(nil, "cosee.Sweep")
 	defer sp.End()
 	sp.AttrInt("points", len(powers))
+	prog := obs.CurrentBoard().Begin("cosee.Sweep", len(powers))
+	defer prog.Finish()
 	out := make([]Point, 0, len(powers))
 	for _, p := range powers {
 		pt, err := c.solveObs(sp, p)
@@ -433,6 +435,7 @@ func (c *Config) Sweep(powers []float64) ([]Point, error) {
 			return nil, err
 		}
 		out = append(out, pt)
+		prog.Step(1)
 	}
 	return out, nil
 }
@@ -447,11 +450,17 @@ func (c *Config) SweepParallel(powers []float64, workers int) ([]Point, error) {
 	defer sp.End()
 	sp.AttrInt("points", len(powers))
 	sp.AttrInt("workers", parallel.Workers(workers))
+	prog := obs.CurrentBoard().Begin("cosee.Sweep", len(powers))
+	defer prog.Finish()
 	cc := *c
 	cc.Defaults()
 	return parallel.Map(powers, workers, func(_ int, p float64) (Point, error) {
 		cfg := cc
-		return cfg.solveObs(sp, p)
+		pt, err := cfg.solveObs(sp, p)
+		if err == nil {
+			prog.Step(1)
+		}
+		return pt, err
 	})
 }
 
@@ -467,13 +476,17 @@ func (c *Config) SweepKeepGoing(powers []float64, workers int) ([]Point, []*robu
 	sp.AttrInt("points", len(powers))
 	sp.AttrInt("workers", parallel.Workers(workers))
 	sp.Attr("keep_going", "true")
+	prog := obs.CurrentBoard().Begin("cosee.Sweep", len(powers))
+	defer prog.Finish()
 	cc := *c
 	cc.Defaults()
 	out, errs := robust.MapKeepGoing(powers, workers,
 		func(_ int, p float64) string { return fmt.Sprintf("P=%g W", p) },
 		func(_ int, p float64) (Point, error) {
 			cfg := cc
-			return cfg.solveObs(sp, p)
+			pt, err := cfg.solveObs(sp, p)
+			prog.Step(1) // keep-going sweeps count failed points as visited
+			return pt, err
 		})
 	for _, pe := range errs {
 		out[pe.Index] = Point{PowerW: powers[pe.Index], DeltaTK: math.NaN(), LHPPower: math.NaN()}
@@ -553,6 +566,8 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 	sp := obs.Start(nil, "cosee.RunFig10")
 	defer sp.End()
 	sp.Attr("structure", structure.Name)
+	prog := obs.CurrentBoard().Begin("cosee.RunFig10", 6)
+	defer prog.Finish()
 	base := Config{Structure: structure}
 	withLHP := Config{UseLHP: true, Structure: structure}
 	tilted := Config{UseLHP: true, TiltDeg: 22, Structure: structure}
@@ -562,22 +577,27 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 	if s.CapabilityNoLHP, err = base.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	if s.CapabilityLHP, err = withLHP.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	if s.CapabilityTilt, err = tilted.capabilityObs(sp, 60); err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
 
 	p0, err := base.solveObs(sp, 40)
 	if err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	p1, err := withLHP.solveObs(sp, 40)
 	if err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	s.DeltaTNoLHP40W = p0.DeltaTK
 	s.DeltaTLHP40W = p1.DeltaTK
 	s.CoolingAt40W = p0.DeltaTK - p1.DeltaTK
@@ -586,6 +606,7 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog.Step(1)
 	s.LHPPowerAt100W = p100.LHPPower
 	return &s, nil
 }
@@ -629,8 +650,14 @@ func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary,
 			return p.LHPPower, err
 		},
 	}
+	prog := obs.CurrentBoard().Begin("cosee.RunFig10", len(tasks))
+	defer prog.Finish()
 	vals, err := parallel.Map(tasks, workers, func(_ int, fn func() (float64, error)) (float64, error) {
-		return fn()
+		v, err := fn()
+		if err == nil {
+			prog.Step(1)
+		}
+		return v, err
 	})
 	if err != nil {
 		return nil, err
@@ -694,9 +721,15 @@ func RunFig10KeepGoing(structure materials.Material, workers int, fault func(pow
 			return p.LHPPower, err
 		}},
 	}
+	prog := obs.CurrentBoard().Begin("cosee.RunFig10", len(tasks))
+	defer prog.Finish()
 	vals, errs := robust.MapKeepGoing(tasks, workers,
 		func(_ int, s study) string { return s.label },
-		func(_ int, s study) (float64, error) { return s.fn() })
+		func(_ int, s study) (float64, error) {
+			v, err := s.fn()
+			prog.Step(1) // keep-going campaigns count failed studies as visited
+			return v, err
+		})
 	for _, pe := range errs {
 		vals[pe.Index] = math.NaN()
 	}

@@ -245,6 +245,8 @@ func (c Campaign) RunAll(a *Article) ([]Result, error) {
 	sp := obs.Start(nil, "envtest.RunAll")
 	defer sp.End()
 	sp.Attr("article", a.Name)
+	prog := obs.CurrentBoard().Begin("envtest.RunAll "+a.Name, 4)
+	defer prog.Finish()
 	var out []Result
 	for _, run := range []func(*Article) (Result, error){
 		c.RunAcceleration, c.RunVibration, c.RunClimatic, c.RunThermalShock,
@@ -255,6 +257,7 @@ func (c Campaign) RunAll(a *Article) ([]Result, error) {
 			return out, err
 		}
 		out = append(out, r)
+		prog.Step(1)
 	}
 	recordResults(out)
 	return out, nil
@@ -277,8 +280,14 @@ func (c Campaign) RunAllParallel(a *Article, workers int) ([]Result, error) {
 	runs := []func(*Article) (Result, error){
 		c.RunAcceleration, c.RunVibration, c.RunClimatic, c.RunThermalShock,
 	}
+	prog := obs.CurrentBoard().Begin("envtest.RunAll "+a.Name, len(runs))
+	defer prog.Finish()
 	out, err := parallel.Map(runs, workers, func(_ int, run func(*Article) (Result, error)) (Result, error) {
-		return run(a)
+		r, err := run(a)
+		if err == nil {
+			prog.Step(1)
+		}
+		return r, err
 	})
 	recordResults(out)
 	return out, err
@@ -311,9 +320,15 @@ func runKeepGoing(spanName string, a *Article, runs []labelledRun, workers int) 
 	defer sp.End()
 	sp.Attr("article", a.Name)
 	sp.Attr("keep_going", "true")
+	prog := obs.CurrentBoard().Begin(spanName+" "+a.Name, len(runs))
+	defer prog.Finish()
 	out, errs := robust.MapKeepGoing(runs, workers,
 		func(_ int, r labelledRun) string { return r.label },
-		func(_ int, r labelledRun) (Result, error) { return r.run(a) })
+		func(_ int, r labelledRun) (Result, error) {
+			res, err := r.run(a)
+			prog.Step(1) // keep-going campaigns count failed tests as visited
+			return res, err
+		})
 	for _, pe := range errs {
 		out[pe.Index] = Result{Test: runs[pe.Index].label, Detail: "ERROR: " + pe.Err.Error()}
 	}
@@ -336,8 +351,14 @@ func (c Campaign) RunAllKeepGoing(a *Article, workers int) ([]Result, []*robust.
 // results are exactly RunAll's; the first failing article (by slice
 // index) aborts the batch with its error.
 func (c Campaign) QualifyFleet(articles []*Article, workers int) ([][]Result, error) {
+	prog := obs.CurrentBoard().Begin("envtest.QualifyFleet", len(articles))
+	defer prog.Finish()
 	return parallel.Map(articles, workers, func(_ int, a *Article) ([]Result, error) {
-		return c.RunAll(a)
+		r, err := c.RunAll(a)
+		if err == nil {
+			prog.Step(1)
+		}
+		return r, err
 	})
 }
 
@@ -346,9 +367,15 @@ func (c Campaign) QualifyFleet(articles []*Article, workers int) ([][]Result, er
 // row is nil and a robust.PointError labelled with the article name is
 // returned, while every other article's results are exactly RunAll's.
 func (c Campaign) QualifyFleetKeepGoing(articles []*Article, workers int) ([][]Result, []*robust.PointError) {
+	prog := obs.CurrentBoard().Begin("envtest.QualifyFleet", len(articles))
+	defer prog.Finish()
 	return robust.MapKeepGoing(articles, workers,
 		func(_ int, a *Article) string { return a.Name },
-		func(_ int, a *Article) ([]Result, error) { return c.RunAll(a) })
+		func(_ int, a *Article) ([]Result, error) {
+			r, err := c.RunAll(a)
+			prog.Step(1) // keep-going fleets count failed articles as visited
+			return r, err
+		})
 }
 
 // AllPass reports whether every result passed.

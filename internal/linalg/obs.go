@@ -1,6 +1,10 @@
 package linalg
 
-import "aeropack/internal/obs"
+import (
+	"strconv"
+
+	"aeropack/internal/obs"
+)
 
 // residualBuckets cover the convergence range of interest: 1e-16 (beyond
 // machine precision) up through 100 (a diverged solve), one decade per
@@ -17,14 +21,24 @@ var residualBuckets = obs.ExpBuckets(1e-16, 10, 18)
 //	linalg_solver_failures_total    counter, solves that returned an error
 //	linalg_residual                 histogram, relative residual at exit
 func recordSolve(method string, stats IterStats, err error) {
-	r := obs.Default()
-	if r == nil {
-		return
+	if r := obs.Default(); r != nil {
+		r.Counter("linalg_" + method + "_solves_total").Inc()
+		r.Counter("linalg_solver_iterations_total").Add(int64(stats.Iterations))
+		r.Histogram("linalg_residual", residualBuckets).Observe(stats.Residual)
+		if err != nil {
+			r.Counter("linalg_solver_failures_total").Inc()
+		}
 	}
-	r.Counter("linalg_" + method + "_solves_total").Inc()
-	r.Counter("linalg_solver_iterations_total").Add(int64(stats.Iterations))
-	r.Histogram("linalg_residual", residualBuckets).Observe(stats.Residual)
-	if err != nil {
-		r.Counter("linalg_solver_failures_total").Inc()
+	// Flight-recorder convergence summary: one event per solve with the
+	// numbers an operator tails first when a run misbehaves.
+	if rec := obs.CurrentRecorder(); rec != nil {
+		attrs := []obs.Attr{
+			{Key: "iterations", Value: strconv.Itoa(stats.Iterations)},
+			{Key: "residual", Value: strconv.FormatFloat(stats.Residual, 'g', -1, 64)},
+		}
+		if err != nil {
+			attrs = append(attrs, obs.Attr{Key: "error", Value: err.Error()})
+		}
+		rec.Record("solver", method, attrs...)
 	}
 }

@@ -165,6 +165,9 @@ func (s *SolverSetup) PrecFor(kind string, a *CSR, omega float64) (Preconditione
 		if r := obs.Default(); r != nil {
 			r.Counter("linalg_setup_prec_reuse_total").Inc()
 		}
+		if rec := obs.CurrentRecorder(); rec != nil {
+			rec.Record("cache", "prec_reuse", obs.Attr{Key: "kind", Value: kind})
+		}
 		return p, nil
 	}
 	var sym *icSymbolic
@@ -263,10 +266,16 @@ func (s *SolverSetup) Cached(key SolveKey) ([]float64, IterStats, bool) {
 		if r := obs.Default(); r != nil {
 			r.Counter("linalg_setup_result_misses_total").Inc()
 		}
+		if rec := obs.CurrentRecorder(); rec != nil {
+			rec.Record("cache", "result_miss")
+		}
 		return nil, IterStats{}, false
 	}
 	if r := obs.Default(); r != nil {
 		r.Counter("linalg_setup_result_hits_total").Inc()
+	}
+	if rec := obs.CurrentRecorder(); rec != nil {
+		rec.Record("cache", "result_hit")
 	}
 	out := make([]float64, len(e.x))
 	copy(out, e.x)

@@ -119,8 +119,74 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// promName sanitizes a metric name to the exposition-format charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* — every invalid rune becomes '_', and a
+// leading digit gets a '_' prefix.  Registry names are code-authored and
+// already valid; the sanitizer keeps a future dynamically-derived name
+// (an article label, a file path) from corrupting the whole scrape.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	valid := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !valid(i, name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if valid(i, c) || (c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promHelpEscaper escapes HELP text per the exposition format: backslash
+// and newline only (double quotes are legal in help text).
+var promHelpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// promLabelEscaper escapes label values: backslash, double quote and
+// newline.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// writePromHeader emits the optional # HELP line and the # TYPE line for
+// one metric.
+func (r *Registry) writePromHeader(b *strings.Builder, name, kind string) {
+	if help := r.Help(name); help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", promName(name), promHelpEscaper.Replace(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", promName(name), kind)
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4), metrics sorted by name.
+// format (version 0.0.4), metrics sorted by name: an optional # HELP
+// line (see SetHelp) and a # TYPE line per metric, histograms as
+// cumulative _bucket series with le labels plus _sum and _count, names
+// sanitized and label values escaped per the format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -128,14 +194,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counters, gauges, hists := r.snapshot()
 	var b strings.Builder
 	for _, n := range counters {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.Counter(n).Value())
+		r.writePromHeader(&b, n, "counter")
+		fmt.Fprintf(&b, "%s %d\n", promName(n), r.Counter(n).Value())
 	}
 	for _, n := range gauges {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, r.Gauge(n).Value())
+		r.writePromHeader(&b, n, "gauge")
+		fmt.Fprintf(&b, "%s %g\n", promName(n), r.Gauge(n).Value())
 	}
 	for _, n := range hists {
 		h := r.Histogram(n, nil)
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		r.writePromHeader(&b, n, "histogram")
 		bounds := h.Bounds()
 		counts := h.BucketCounts()
 		cum := int64(0)
@@ -145,23 +213,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(bounds) {
 				le = fmt.Sprintf("%g", bounds[i])
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", n, le, cum)
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", promName(n), promLabelEscaper.Replace(le), cum)
 		}
-		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", promName(n), h.Sum(), promName(n), h.Count())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// Setup enables the process-global tracer and/or metrics registry for a
-// command-line run: a non-empty tracePath turns on span collection, a
-// non-empty metricsPath turns on metrics.  The returned flush function
-// writes the collected telemetry to those files and should be called
-// once, on the way out of main, before any os.Exit.  Both paths empty
-// means telemetry stays disabled and flush is a cheap no-op.
-func Setup(tracePath, metricsPath string) (flush func() error) {
+// Setup enables process-global telemetry for a command-line run: a
+// non-empty tracePath turns on span collection, a non-empty metricsPath
+// turns on metrics, and a non-empty eventsPath turns on the flight
+// recorder.  The returned flush function writes the collected telemetry
+// to those files and should be called once, on the way out of main,
+// before any os.Exit — which is what makes the event dump land both on
+// demand (normal exit) and on error (the CLIs' fail paths flush too).
+// All paths empty means telemetry stays disabled and flush is a cheap
+// no-op.
+func Setup(tracePath, metricsPath, eventsPath string) (flush func() error) {
 	var tr *Trace
 	var reg *Registry
+	var rec *Recorder
 	if tracePath != "" {
 		tr = NewTrace()
 		SetTracer(tr)
@@ -169,6 +241,10 @@ func Setup(tracePath, metricsPath string) (flush func() error) {
 	if metricsPath != "" {
 		reg = NewRegistry()
 		SetDefault(reg)
+	}
+	if eventsPath != "" {
+		rec = NewRecorder(0)
+		SetRecorder(rec)
 	}
 	return func() error {
 		if tr != nil {
@@ -179,6 +255,11 @@ func Setup(tracePath, metricsPath string) (flush func() error) {
 		if reg != nil {
 			if err := writeFile(metricsPath, reg.WriteJSON); err != nil {
 				return fmt.Errorf("obs: writing metrics: %w", err)
+			}
+		}
+		if rec != nil {
+			if err := writeFile(eventsPath, func(w io.Writer) error { return rec.WriteJSON(w, 0) }); err != nil {
+				return fmt.Errorf("obs: writing events: %w", err)
 			}
 		}
 		return nil

@@ -76,3 +76,45 @@ func TestObsGoldenCapabilityMetrics(t *testing.T) {
 		t.Errorf("linalg_solver_failures_total = %d, want 0", fails)
 	}
 }
+
+// TestObsGoldenSetupCacheMetrics pins the solver-setup cache counter
+// contract from PR 7: a serial sweep with a repeated power point must
+// reuse the shared preconditioner setup (linalg_setup_prec_reuse_total),
+// miss the result cache once per distinct linear system and hit it for
+// every system the duplicate point repeats — and the hit/miss split must
+// reconcile exactly with the CG solves actually run, since a result-cache
+// hit skips the Krylov loop entirely.
+func TestObsGoldenSetupCacheMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetDefault(reg)
+	defer obs.SetDefault(prev)
+
+	cfg := cosee.Config{UseLHP: true}
+	if _, err := cfg.Sweep([]float64{20, 20, 40}); err != nil {
+		t.Fatal(err)
+	}
+	hits := reg.Counter("linalg_setup_result_hits_total").Value()
+	misses := reg.Counter("linalg_setup_result_misses_total").Value()
+	reuse := reg.Counter("linalg_setup_prec_reuse_total").Value()
+	cg := reg.Counter("linalg_cg_solves_total").Value()
+	if hits < 1 {
+		t.Errorf("linalg_setup_result_hits_total = %d, want ≥1 (the duplicate 20 W point repeats identical systems)", hits)
+	}
+	if misses < 1 {
+		t.Errorf("linalg_setup_result_misses_total = %d, want ≥1", misses)
+	}
+	if cg != misses {
+		t.Errorf("linalg_cg_solves_total = %d, want %d: every miss runs CG, every hit skips it", cg, misses)
+	}
+	if reuse < 1 {
+		t.Errorf("linalg_setup_prec_reuse_total = %d, want ≥1 (sweep points share the IC(0) setup)", reuse)
+	}
+	// A healthy network never degrades its preconditioner: both PR-7
+	// degradation counters stay untouched (absent ≡ zero) on this run.
+	snap := reg.Snapshot()
+	for _, name := range []string{"robust_ic0_degraded_total", "thermal_ic0_degraded_total"} {
+		if v, ok := snap.Counters[name]; ok && v != 0 {
+			t.Errorf("%s = %d on a clean sweep, want 0", name, v)
+		}
+	}
+}

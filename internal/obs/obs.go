@@ -181,6 +181,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -189,7 +190,31 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		helps:    make(map[string]string),
 	}
+}
+
+// SetHelp attaches a one-line description to a metric name, emitted as
+// the Prometheus "# HELP" line (with exposition-format escaping) ahead
+// of the metric's TYPE line.  Nil-safe; the last call wins.  Metrics
+// without help text export TYPE only, which the format permits.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[name] = help
+}
+
+// Help returns the help text registered for name ("" when unset).
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.helps[name]
 }
 
 // Counter returns (creating if needed) the named counter, or nil when the

@@ -342,13 +342,16 @@ func TestObsSetup(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
+	eventsPath := filepath.Join(dir, "events.json")
 
 	prevR, prevT := Default(), CurrentTracer()
+	prevRec := CurrentRecorder()
 	t.Cleanup(func() {
 		SetDefault(prevR)
 		SetTracer(prevT)
+		SetRecorder(prevRec)
 	})
-	flush := Setup(tracePath, metricsPath)
+	flush := Setup(tracePath, metricsPath, eventsPath)
 	sp := Start(nil, "setup-span")
 	sp.End()
 	Default().Counter("setup_total").Inc()
@@ -374,10 +377,19 @@ func TestObsSetup(t *testing.T) {
 	if snap.Counters["setup_total"] != 1 {
 		t.Errorf("counter in file = %d, want 1", snap.Counters["setup_total"])
 	}
+	raw, err = os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("aeropack-events/v1")) ||
+		!bytes.Contains(raw, []byte("span_begin")) ||
+		!bytes.Contains(raw, []byte("setup-span")) {
+		t.Errorf("events file missing schema or span events:\n%s", raw)
+	}
 
 	// Disabled Setup: no files, flush is a no-op.
 	noneTrace := filepath.Join(dir, "none-trace.json")
-	flush = Setup("", "")
+	flush = Setup("", "", "")
 	if err := flush(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,245 @@
+package obshttp_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aeropack/internal/cosee"
+	"aeropack/internal/materials"
+	"aeropack/internal/obs"
+	"aeropack/internal/obs/obshttp"
+)
+
+// TestOpsEndpointDuringLiveSweep is the ISSUE acceptance scenario: a
+// Fig. 10 power sweep runs on worker goroutines while the ops endpoint
+// answers /metrics, /healthz, /events and /progress mid-flight.  The
+// sweep is paused deterministically through cosee's fault-injection
+// seam (FaultFn blocks after the first few points), the four routes are
+// scraped while it hangs, and the sweep then resumes to a clean finish.
+func TestOpsEndpointDuringLiveSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	board := obs.NewBoard()
+	prevReg := obs.SetDefault(reg)
+	prevRec := obs.SetRecorder(rec)
+	prevBoard := obs.SetBoard(board)
+	t.Cleanup(func() {
+		obs.SetDefault(prevReg)
+		obs.SetRecorder(prevRec)
+		obs.SetBoard(prevBoard)
+	})
+
+	ts := httptest.NewServer(obshttp.NewHandler(obshttp.Options{
+		Registry: reg, Recorder: rec, Board: board,
+	}))
+	defer ts.Close()
+
+	mat, err := materials.Get("Al6061")
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := make([]float64, 11)
+	for i := range powers {
+		powers[i] = 10 * float64(i+1)
+	}
+
+	// The first passPoints fault checks return immediately so real points
+	// complete; every later check parks its worker on release, freezing
+	// the sweep mid-run with the study open and counters hot.
+	const passPoints = 3
+	var calls atomic.Int64
+	var startedOnce, releaseOnce sync.Once
+	started := make(chan struct{})
+	release := make(chan struct{})
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(unblock) // never leave sweep workers parked on a failed test
+	fault := func(powerW float64) error {
+		if calls.Add(1) > passPoints {
+			startedOnce.Do(func() { close(started) })
+			<-release
+		}
+		return nil
+	}
+
+	type sweepResult struct {
+		pts []cosee.Point
+		err error
+	}
+	resultCh := make(chan sweepResult, 1)
+	go func() {
+		cfg := cosee.Config{UseLHP: true, Structure: mat, FaultFn: fault}
+		pts, err := cfg.SweepParallel(powers, 2)
+		resultCh <- sweepResult{pts, err}
+	}()
+
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never reached the blocking fault check")
+	}
+
+	// --- mid-run: all four routes must answer while workers are parked ---
+
+	// /metrics: the fault seam sits after the cosee_solves_total
+	// increment, so at least passPoints+1 solves are already counted.
+	metrics := get(t, ts.URL+"/metrics")
+	solves := counterValue(t, metrics, "cosee_solves_total")
+	if solves < passPoints+1 {
+		t.Errorf("mid-run cosee_solves_total = %d, want >= %d", solves, passPoints+1)
+	}
+
+	// /healthz answers even with the solver stalled.
+	var health struct {
+		Status     string `json:"status"`
+		Goroutines int    `json:"goroutines"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/healthz")), &health); err != nil {
+		t.Fatalf("mid-run /healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Goroutines < 3 {
+		t.Errorf("mid-run health = %+v", health)
+	}
+
+	// /events: the flight recorder already holds the sweep's study_begin.
+	var events struct {
+		Schema string `json:"schema"`
+		Events []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/events")), &events); err != nil {
+		t.Fatalf("mid-run /events: %v", err)
+	}
+	if events.Schema != "aeropack-events/v1" {
+		t.Errorf("events schema = %q", events.Schema)
+	}
+	sawBegin := false
+	for _, e := range events.Events {
+		if e.Kind == "study_begin" && e.Name == "cosee.Sweep" {
+			sawBegin = true
+		}
+	}
+	if !sawBegin {
+		t.Error("mid-run /events has no study_begin for cosee.Sweep")
+	}
+
+	// /progress: the completed head of the sweep lands while the tail is
+	// parked, so poll until some points are done and assert the study is
+	// visibly incomplete.
+	deadline := time.Now().Add(30 * time.Second)
+	var study *progressStudy
+	for {
+		study = findStudy(t, ts.URL, "cosee.Sweep")
+		if study != nil && study.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no mid-run progress for cosee.Sweep, last = %+v", study)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if study.Total != int64(len(powers)) {
+		t.Errorf("mid-run total = %d, want %d", study.Total, len(powers))
+	}
+	if study.Done >= study.Total || study.Finished {
+		t.Errorf("sweep not blocked mid-run: %+v", study)
+	}
+
+	// --- release, join, and confirm the run completed cleanly ---
+	unblock()
+	var res sweepResult
+	select {
+	case res = <-resultCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep did not finish after release")
+	}
+	if res.err != nil {
+		t.Fatalf("sweep failed after release: %v", res.err)
+	}
+	if len(res.pts) != len(powers) {
+		t.Fatalf("sweep returned %d points, want %d", len(res.pts), len(powers))
+	}
+	for _, p := range res.pts {
+		if !(p.DeltaTK > 0) {
+			t.Fatalf("point %+v has non-positive deltaT", p)
+		}
+	}
+	final := findStudy(t, ts.URL, "cosee.Sweep")
+	if final == nil || !final.Finished || final.Done != final.Total {
+		t.Errorf("final progress = %+v, want finished %d/%d", final, len(powers), len(powers))
+	}
+}
+
+type progressStudy struct {
+	Name     string  `json:"name"`
+	Total    int64   `json:"total"`
+	Done     int64   `json:"done"`
+	Percent  float64 `json:"percent"`
+	Finished bool    `json:"finished"`
+}
+
+// findStudy scrapes /progress and returns the named study, or nil.
+func findStudy(t *testing.T, baseURL, name string) *progressStudy {
+	t.Helper()
+	var doc struct {
+		Schema  string          `json:"schema"`
+		Studies []progressStudy `json:"studies"`
+	}
+	if err := json.Unmarshal([]byte(get(t, baseURL+"/progress")), &doc); err != nil {
+		t.Fatalf("/progress: %v", err)
+	}
+	if doc.Schema != "aeropack-progress/v1" {
+		t.Fatalf("progress schema = %q", doc.Schema)
+	}
+	for i := range doc.Studies {
+		if doc.Studies[i].Name == name {
+			return &doc.Studies[i]
+		}
+	}
+	return nil
+}
+
+// counterValue extracts an integer counter sample from Prometheus text.
+func counterValue(t *testing.T, body, name string) int {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				t.Fatalf("counter %s: parsing %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not found in:\n%s", name, body)
+	return 0
+}
+
+// get fetches a URL and returns the body, failing the test on any error
+// or non-200 status.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }() // read-only; nothing to do about a close error
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StudyProgress tracks one running study — a Fig. 10 sweep, a
+// qualification campaign, a fleet batch — as a done/total pair updated
+// from worker goroutines with plain atomic adds.  All methods are
+// no-ops on a nil *StudyProgress, so instrumented drivers need no
+// enabled/disabled branching.
+type StudyProgress struct {
+	name     string
+	start    time.Time
+	total    atomic.Int64
+	done     atomic.Int64
+	finished atomic.Bool
+}
+
+// Step records n completed work items; nil-safe, callable from any
+// goroutine (sweep workers call it as each point lands).
+func (p *StudyProgress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Finish marks the study complete (idempotent, nil-safe) and records a
+// "study_end" flight-recorder event when the recorder is enabled.
+func (p *StudyProgress) Finish() {
+	if p == nil {
+		return
+	}
+	if p.finished.Swap(true) {
+		return
+	}
+	if rec := CurrentRecorder(); rec != nil {
+		rec.Record("study_end", p.name,
+			Attr{Key: "done", Value: itoa(p.done.Load())},
+			Attr{Key: "total", Value: itoa(p.total.Load())})
+	}
+}
+
+// Board is the process-wide registry of study progress, the source the
+// ops endpoint's /progress route serves.  It keeps the most recent
+// boardMaxStudies studies (oldest evicted first) so a long-running
+// service never grows without bound.  A nil *Board no-ops everywhere.
+type Board struct {
+	mu      sync.Mutex
+	studies []*StudyProgress
+}
+
+// boardMaxStudies bounds the study list; a multi-hour campaign is a
+// handful of studies, a service run is many — 64 keeps the recent past
+// visible either way.
+const boardMaxStudies = 64
+
+// NewBoard returns an empty progress board.
+func NewBoard() *Board { return &Board{} }
+
+// progressBoard is the process-global board; nil means progress
+// tracking is disabled (the default).
+var progressBoard atomic.Pointer[Board]
+
+// CurrentBoard returns the process-global progress board, or nil when
+// progress tracking is disabled.
+func CurrentBoard() *Board { return progressBoard.Load() }
+
+// SetBoard installs b as the process-global board (nil disables
+// progress tracking) and returns the previous one so tests can restore
+// it.
+func SetBoard(b *Board) *Board { return progressBoard.Swap(b) }
+
+// Begin registers a new study of total expected work items and returns
+// its tracker.  On a nil board it returns nil — whose methods all
+// no-op — so drivers call Begin/Step/Finish unconditionally.  A
+// "study_begin" event lands in the flight recorder when one is enabled.
+func (b *Board) Begin(name string, total int) *StudyProgress {
+	if b == nil {
+		return nil
+	}
+	p := &StudyProgress{name: name, start: time.Now()}
+	p.total.Store(int64(total))
+	b.mu.Lock()
+	b.studies = append(b.studies, p)
+	if len(b.studies) > boardMaxStudies {
+		b.studies = b.studies[len(b.studies)-boardMaxStudies:]
+	}
+	b.mu.Unlock()
+	if rec := CurrentRecorder(); rec != nil {
+		rec.Record("study_begin", name, Attr{Key: "total", Value: itoa(int64(total))})
+	}
+	return p
+}
+
+// ProgressSnapshot is the exported state of one study.
+type ProgressSnapshot struct {
+	Name           string  `json:"name"`
+	Total          int64   `json:"total"`
+	Done           int64   `json:"done"`
+	Percent        float64 `json:"percent"`
+	Finished       bool    `json:"finished"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Snapshot returns the board's studies in registration order.
+func (b *Board) Snapshot() []ProgressSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	studies := append([]*StudyProgress(nil), b.studies...)
+	b.mu.Unlock()
+	out := make([]ProgressSnapshot, 0, len(studies))
+	for _, p := range studies {
+		total, done := p.total.Load(), p.done.Load()
+		pct := 0.0
+		switch {
+		case total > 0:
+			pct = 100 * float64(done) / float64(total)
+		case p.finished.Load():
+			pct = 100
+		}
+		out = append(out, ProgressSnapshot{
+			Name:           p.name,
+			Total:          total,
+			Done:           done,
+			Percent:        pct,
+			Finished:       p.finished.Load(),
+			ElapsedSeconds: time.Since(p.start).Seconds(),
+		})
+	}
+	return out
+}
+
+// progressFile is the aeropack-progress/v1 JSON schema.
+type progressFile struct {
+	Schema  string             `json:"schema"` // "aeropack-progress/v1"
+	Studies []ProgressSnapshot `json:"studies"`
+}
+
+// WriteJSON writes the board as an aeropack-progress/v1 document — the
+// payload of the ops endpoint's /progress route.
+func (b *Board) WriteJSON(w io.Writer) error {
+	studies := b.Snapshot()
+	if studies == nil {
+		studies = []ProgressSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(progressFile{Schema: "aeropack-progress/v1", Studies: studies})
+}
+
+// itoa formats an int64 without pulling fmt into the hot Step/Finish
+// paths (strconv stays allocation-light for small integers).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestBoardBeginStepFinish(t *testing.T) {
+	b := NewBoard()
+	p := b.Begin("fig10-sweep", 40)
+	p.Step(10)
+	p.Step(5)
+	snap := b.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Name != "fig10-sweep" || s.Total != 40 || s.Done != 15 || s.Finished {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Percent < 37 || s.Percent > 38 {
+		t.Fatalf("Percent = %g, want 37.5", s.Percent)
+	}
+	p.Step(25)
+	p.Finish()
+	p.Finish() // idempotent
+	s = b.Snapshot()[0]
+	if !s.Finished || s.Done != 40 || s.Percent != 100 {
+		t.Fatalf("finished snapshot = %+v", s)
+	}
+}
+
+func TestBoardZeroTotal(t *testing.T) {
+	b := NewBoard()
+	p := b.Begin("unknown-size", 0)
+	if got := b.Snapshot()[0].Percent; got != 0 {
+		t.Fatalf("unfinished zero-total percent = %g, want 0", got)
+	}
+	p.Finish()
+	if got := b.Snapshot()[0].Percent; got != 100 {
+		t.Fatalf("finished zero-total percent = %g, want 100", got)
+	}
+}
+
+func TestBoardNilSafe(t *testing.T) {
+	var b *Board
+	p := b.Begin("x", 10) // nil board → nil tracker
+	if p != nil {
+		t.Fatal("nil board Begin should return nil")
+	}
+	p.Step(1) // must not panic
+	p.Finish()
+	if b.Snapshot() != nil {
+		t.Fatal("nil board Snapshot != nil")
+	}
+}
+
+func TestBoardGlobalHandle(t *testing.T) {
+	prev := SetBoard(nil)
+	t.Cleanup(func() { SetBoard(prev) })
+	if CurrentBoard() != nil {
+		t.Fatal("board should be disabled")
+	}
+	b := NewBoard()
+	SetBoard(b)
+	if CurrentBoard() != b {
+		t.Fatal("CurrentBoard did not return installed board")
+	}
+	// The disabled-by-default pattern every driver uses: Begin on a
+	// possibly-nil board, then nil-safe Step/Finish.
+	SetBoard(nil)
+	p := CurrentBoard().Begin("study", 3)
+	p.Step(3)
+	p.Finish()
+}
+
+func TestBoardEviction(t *testing.T) {
+	b := NewBoard()
+	for i := 0; i < boardMaxStudies+10; i++ {
+		b.Begin("s", 1)
+	}
+	if got := len(b.Snapshot()); got != boardMaxStudies {
+		t.Fatalf("board holds %d studies, want %d", got, boardMaxStudies)
+	}
+}
+
+func TestBoardConcurrentSteps(t *testing.T) {
+	b := NewBoard()
+	p := b.Begin("parallel-sweep", 800)
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	s := b.Snapshot()[0]
+	if s.Done != 800 || s.Percent != 100 {
+		t.Fatalf("concurrent snapshot = %+v", s)
+	}
+}
+
+func TestBoardWriteJSON(t *testing.T) {
+	b := NewBoard()
+	p := b.Begin("qual-campaign", 12)
+	p.Step(3)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Studies []struct {
+			Name           string  `json:"name"`
+			Total          int64   `json:"total"`
+			Done           int64   `json:"done"`
+			Percent        float64 `json:"percent"`
+			Finished       bool    `json:"finished"`
+			ElapsedSeconds float64 `json:"elapsed_seconds"`
+		} `json:"studies"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("progress dump not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "aeropack-progress/v1" {
+		t.Fatalf("schema = %q, want aeropack-progress/v1", doc.Schema)
+	}
+	if len(doc.Studies) != 1 || doc.Studies[0].Name != "qual-campaign" || doc.Studies[0].Done != 3 {
+		t.Fatalf("studies = %+v", doc.Studies)
+	}
+	if doc.Studies[0].ElapsedSeconds < 0 {
+		t.Fatalf("elapsed = %g, want >= 0", doc.Studies[0].ElapsedSeconds)
+	}
+
+	// An empty board still emits a well-formed document with an empty
+	// (not null) studies array.
+	buf.Reset()
+	if err := NewBoard().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"studies": []`)) {
+		t.Fatalf("empty board dump = %s", buf.String())
+	}
+}
+
+func TestBoardEventsLandInRecorder(t *testing.T) {
+	rec := NewRecorder(16)
+	prevR := SetRecorder(rec)
+	t.Cleanup(func() { SetRecorder(prevR) })
+	b := NewBoard()
+	p := b.Begin("fleet", 2)
+	p.Step(2)
+	p.Finish()
+	tail := rec.Tail(0)
+	if len(tail) != 2 {
+		t.Fatalf("recorded %d events, want 2: %+v", len(tail), tail)
+	}
+	if tail[0].Kind != "study_begin" || tail[0].Name != "fleet" {
+		t.Fatalf("event 0 = %+v", tail[0])
+	}
+	if tail[1].Kind != "study_end" || len(tail[1].Attrs) != 2 || tail[1].Attrs[0].Value != "2" {
+		t.Fatalf("event 1 = %+v", tail[1])
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", 42: "42", -5: "-5", 123456789: "123456789"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

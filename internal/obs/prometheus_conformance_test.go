@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The Prometheus text exposition format (version 0.0.4) grammar pinned
+// by TestPrometheusConformance:
+//
+//	metric name   [a-zA-Z_:][a-zA-Z0-9_:]*
+//	comment       "# HELP <name> <escaped text>" / "# TYPE <name> <kind>"
+//	sample        <name>[{le="<escaped>"}] <value>
+//	value         Go %g floats plus +Inf/-Inf/NaN, integers for counters
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="((?:[^"\\]|\\.)*)"\})? (NaN|[+-]Inf|[+-]?[0-9].*)$`)
+)
+
+// conformanceRegistry populates a registry the way a real run does, plus
+// deliberately hostile names and help text for the escaping paths.
+func conformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cosee_solves_total").Add(7)
+	r.SetHelp("cosee_solves_total", "Steady solves attempted.")
+	r.Gauge("lhp_conductance_w_per_k").Set(3.25)
+	r.Gauge("runtime_negative").Set(-1.5)
+	h := r.Histogram("linalg_residual", ExpBuckets(1e-12, 10, 6))
+	h.Observe(1e-11)
+	h.Observe(1e-9)
+	h.Observe(42) // lands in +Inf
+	r.SetHelp("linalg_residual", "Final residual with a \\ backslash and\na newline.")
+	// Hostile dynamic name: must be sanitized, not emitted raw.
+	r.Counter("article.SEB+seat (HP/LHP kit)-runs").Inc()
+	return r
+}
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestPrometheusConformance validates every emitted line against the
+// exposition grammar and the structural rules scrapers rely on: one
+// TYPE per metric preceding its samples, HELP (when present) adjacent
+// and escaped, cumulative non-decreasing buckets ending at +Inf == the
+// _count sample, and a trailing newline.
+func TestPrometheusConformance(t *testing.T) {
+	out := promText(t, conformanceRegistry())
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	typed := map[string]string{} // metric -> kind
+	sampled := map[string]bool{} // base names that emitted samples
+	var lastBucket struct {
+		name string
+		cum  int64
+		inf  int64
+	}
+	counts := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := promHelpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			if strings.ContainsAny(m[2], "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+			if typed[m[1]] != "" {
+				t.Fatalf("HELP for %s after its TYPE line: %q", m[1], line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("duplicate TYPE for %s", m[1])
+			}
+			if sampled[m[1]] {
+				t.Fatalf("TYPE for %s after its samples", m[1])
+			}
+			typed[m[1]] = m[2]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line: %q", line)
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			name, le, val := m[1], m[2], m[3]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if typed[name] == "" && typed[base] == "" {
+				t.Fatalf("sample %q has no preceding TYPE", line)
+			}
+			sampled[name], sampled[base] = true, true
+			if strings.HasSuffix(name, "_bucket") {
+				if le == "" {
+					t.Fatalf("bucket sample without le label: %q", line)
+				}
+				cum, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					t.Fatalf("non-integer bucket count: %q", line)
+				}
+				if lastBucket.name == name && cum < lastBucket.cum {
+					t.Fatalf("bucket counts not cumulative at %q", line)
+				}
+				lastBucket.name, lastBucket.cum = name, cum
+				if le == "+Inf" {
+					lastBucket.inf = cum
+				}
+			}
+			if strings.HasSuffix(name, "_count") {
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					t.Fatalf("non-integer _count: %q", line)
+				}
+				counts[base] = n
+			}
+			if typed[name] == "counter" {
+				if _, err := strconv.ParseInt(val, 10, 64); err != nil {
+					t.Fatalf("counter sample not an integer: %q", line)
+				}
+			}
+		}
+	}
+	// Histogram invariant: the +Inf bucket equals _count.
+	if got := counts["linalg_residual"]; got != 3 || lastBucket.inf != got {
+		t.Fatalf("linalg_residual count %d, +Inf bucket %d, want 3 == 3", got, lastBucket.inf)
+	}
+	// Every TYPE must have at least one sample.
+	for name := range typed {
+		if !sampled[name] {
+			t.Fatalf("TYPE %s emitted without samples", name)
+		}
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	out := promText(t, conformanceRegistry())
+	want := `# HELP linalg_residual Final residual with a \\ backslash and\na newline.`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaped HELP line missing; output:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP cosee_solves_total Steady solves attempted.\n# TYPE cosee_solves_total counter\n") {
+		t.Fatalf("HELP/TYPE adjacency broken; output:\n%s", out)
+	}
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	out := promText(t, conformanceRegistry())
+	if strings.Contains(out, "article.SEB") {
+		t.Fatalf("raw invalid metric name leaked into exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "article_SEB_seat__HP_LHP_kit__runs 1\n") {
+		t.Fatalf("sanitized metric name missing:\n%s", out)
+	}
+}
+
+func TestPromNameTable(t *testing.T) {
+	cases := map[string]string{
+		"good_name":       "good_name",
+		"ns:subsystem_ok": "ns:subsystem_ok",
+		"":                "_",
+		"9lives":          "_9lives",
+		"a-b.c d":         "a_b_c_d",
+		// Multi-byte runes sanitize per byte (names are ASCII by contract).
+		"Ünïcode": "__n__code",
+	}
+	for in, want := range cases {
+		got := promName(in)
+		if got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(got) {
+			t.Errorf("promName(%q) = %q is not a valid metric name", in, got)
+		}
+	}
+}

@@ -11,11 +11,12 @@ import (
 	"time"
 )
 
-// Attr is one key/value annotation on a span.  Values are stored
-// pre-formatted so export is allocation-free and deterministic.
+// Attr is one key/value annotation on a span or flight-recorder event.
+// Values are stored pre-formatted so export is allocation-free and
+// deterministic.
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // Span is one timed region of work.  Spans form a tree: children are
@@ -88,7 +89,6 @@ func (t *Trace) newSpan(parent *Span, name string) *Span {
 		return nil
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	s := &Span{tr: t, parent: parent, name: name, seq: len(t.spans), start: time.Now()}
 	if parent == nil {
 		s.root = s.seq
@@ -97,6 +97,14 @@ func (t *Trace) newSpan(parent *Span, name string) *Span {
 		parent.children = append(parent.children, s)
 	}
 	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	// Flight-recorder hook lives on the enabled path only, so the
+	// disabled span guard stays a single atomic load (the pinned
+	// BenchmarkObsDisabledSpan budget).  Recorded after unlock to keep
+	// the trace lock out of the recorder's.
+	if rec := CurrentRecorder(); rec != nil {
+		rec.Record("span_begin", name)
+	}
 	return s
 }
 
@@ -107,10 +115,16 @@ func (s *Span) End() {
 		return
 	}
 	s.tr.mu.Lock()
-	defer s.tr.mu.Unlock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.ended = true
 		s.dur = time.Since(s.start)
+	}
+	s.tr.mu.Unlock()
+	if first {
+		if rec := CurrentRecorder(); rec != nil {
+			rec.Record("span_end", s.name)
+		}
 	}
 }
 

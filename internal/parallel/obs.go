@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -85,4 +86,15 @@ func (p *poolObs) finish() {
 	}
 	p.reg.Gauge("parallel_pool_utilization").Set(util)
 	p.reg.Histogram("parallel_worker_busy_seconds", taskBuckets).Observe(busy / float64(p.workers))
+	// Flight-recorder pool event, thresholded to substantial runs: row
+	// kernels open a pool per SpMV (thousands per second inside CG), so
+	// only multi-worker pools lasting ≥1 ms are worth a ring slot.
+	if p.workers > 1 && wall >= 1e-3 {
+		if rec := obs.CurrentRecorder(); rec != nil {
+			rec.Record("pool", "parallel",
+				obs.Attr{Key: "workers", Value: strconv.Itoa(p.workers)},
+				obs.Attr{Key: "tasks", Value: strconv.FormatInt(p.tasks.Load(), 10)},
+				obs.Attr{Key: "utilization", Value: strconv.FormatFloat(util, 'g', 3, 64)})
+		}
+	}
 }

@@ -3,11 +3,23 @@ package robust
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"aeropack/internal/linalg"
 	"aeropack/internal/obs"
 )
+
+// recordDegrade notes an IC(0)-to-Jacobi preconditioner degrade in the
+// flight recorder, carrying the breakdown cause an operator needs.
+func recordDegrade(rung string, cause error) {
+	if rec := obs.CurrentRecorder(); rec != nil {
+		rec.Record("degrade", rung,
+			obs.Attr{Key: "from", Value: "ic0"},
+			obs.Attr{Key: "to", Value: "jacobi"},
+			obs.Attr{Key: "cause", Value: cause.Error()})
+	}
+}
 
 // Attempt is one rung of a fallback Chain: a solver method, an optional
 // preconditioner, and the budgets bounding the try.
@@ -136,6 +148,11 @@ func (c *Chain) Solve(a *linalg.CSR, b, x0 []float64) ([]float64, Outcome, error
 			sp = c.Span.Start("robust.fallback")
 			sp.Attr("attempt", att.Name)
 			sp.AttrInt("rung", i)
+			if rec := obs.CurrentRecorder(); rec != nil {
+				rec.Record("fallback", att.Name,
+					obs.Attr{Key: "rung", Value: strconv.Itoa(i)},
+					obs.Attr{Key: "cause", Value: lastErr.Error()})
+			}
 		}
 		x, stats, relaxed, err := c.runAttempt(att, a, b, x0)
 		if sp != nil {
@@ -157,6 +174,11 @@ func (c *Chain) Solve(a *linalg.CSR, b, x0 []float64) ([]float64, Outcome, error
 		lastErr = err
 	}
 	obs.Default().Counter("robust_chain_exhausted_total").Add(1)
+	if rec := obs.CurrentRecorder(); rec != nil {
+		rec.Record("fallback", "chain_exhausted",
+			obs.Attr{Key: "attempts", Value: strconv.Itoa(len(c.Attempts))},
+			obs.Attr{Key: "cause", Value: lastErr.Error()})
+	}
 	return nil, Outcome{Fallbacks: len(c.Attempts) - 1}, fmt.Errorf("robust: all %d solver attempts failed, last (%s): %w",
 		len(c.Attempts), c.Attempts[len(c.Attempts)-1].Name, lastErr)
 }
@@ -224,6 +246,7 @@ func (c *Chain) buildPrec(att Attempt, a *linalg.CSR) linalg.Preconditioner {
 		}
 		if att.Prec == "ic0" {
 			obs.Default().Counter("robust_ic0_degraded_total").Add(1)
+			recordDegrade(att.Name, err)
 			if pj, jerr := c.Setup.PrecFor("jacobi", a, omega); jerr == nil {
 				return pj
 			}
@@ -239,6 +262,7 @@ func (c *Chain) buildPrec(att Attempt, a *linalg.CSR) linalg.Preconditioner {
 		p, err := linalg.NewICPrec(a)
 		if err != nil {
 			obs.Default().Counter("robust_ic0_degraded_total").Add(1)
+			recordDegrade(att.Name, err)
 			return linalg.NewJacobiPrec(a)
 		}
 		return p

@@ -391,6 +391,12 @@ func (m *Model) linSolve(a *linalg.CSR, b []float64, x0 []float64, o *SolveOptio
 			// Only IC(0) can fail (breakdown through the whole shift
 			// ladder); degrade to Jacobi — weaker, never failing.
 			obs.Default().Counter("thermal_ic0_degraded_total").Add(1)
+			if rec := obs.CurrentRecorder(); rec != nil {
+				rec.Record("degrade", "thermal.linSolve",
+					obs.Attr{Key: "from", Value: kind},
+					obs.Attr{Key: "to", Value: "jacobi"},
+					obs.Attr{Key: "cause", Value: perr.Error()})
+			}
 			sp.Attr("prec_degraded", "jacobi")
 			prec, _ = setup.PrecFor("jacobi", a, o.SSOROmega)
 		}

@@ -89,4 +89,19 @@ go test -run - -bench BenchmarkLintModule -benchtime 1x ./internal/lint
 echo "== lint-phase benchmark smoke (BenchmarkLintPhases, 1 iteration)"
 go test -run - -bench BenchmarkLintPhases -benchtime 1x ./internal/lint
 
+echo "== flight-recorder disabled-path benchmark smoke (1 iteration)"
+go test -run - -bench 'BenchmarkRecorderDisabled|BenchmarkObsDisabledSpan' -benchtime 1x ./internal/obs
+
+echo "== ops endpoint smoke (live Fig. 10 sweep answering all four routes)"
+go test -race -count=1 -run TestOpsEndpointDuringLiveSweep ./internal/obs/obshttp
+
+echo "== benchjson -compare watchdog (self-compare every BENCH_*.json)"
+for f in BENCH_*.json; do
+    go run ./cmd/benchjson -compare "$f" "$f" >/dev/null || {
+        echo "benchjson -compare failed on $f" >&2
+        exit 1
+    }
+    echo "$f: self-compare OK"
+done
+
 echo "verify.sh: all gates passed"
