@@ -1,0 +1,82 @@
+// Command aeropackd serves the co-design study engines over HTTP/JSON:
+// POST a study request (Fig. 10 sweep, qualification campaign,
+// technology map, power sweep or full board study) to /v1/studies and
+// read the result synchronously, or submit with "async": true and poll
+// the returned job.  Identical request bodies are deduplicated while in
+// flight and answered from a content-hash result cache afterwards; a
+// bounded admission queue sheds overload with 429 + Retry-After.  The
+// obshttp ops routes (/metrics /healthz /events /progress) share the
+// same listener.
+//
+// Usage:
+//
+//	aeropackd -addr :8080
+//	aeropackd -addr :8080 -workers 4 -max-inflight 8 -cache-dir /var/cache/aeropackd
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/studies -d '{"kind":"fig10"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aeropack/internal/obs"
+	"aeropack/internal/obs/obshttp"
+	"aeropack/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	workers := flag.Int("workers", 0, "solver workers per study (<= 0 means GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache in this directory (empty = memory only)")
+	maxInflight := flag.Int("max-inflight", 4, "studies computed concurrently")
+	maxQueue := flag.Int("max-queue", 64, "requests allowed to wait for a slot before 429")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheDir, *maxInflight, *maxQueue); err != nil {
+		fmt.Fprintln(os.Stderr, "aeropackd:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the server lifecycle: bind, serve until SIGINT/SIGTERM,
+// drain connections, then wait out async jobs.
+func run(addr string, workers int, cacheDir string, maxInflight, maxQueue int) error {
+	// Install a default registry so the engines' counters (and the
+	// serve_* family) land on the mounted /metrics route.
+	reg := obs.Default()
+	if reg == nil {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+	}
+	srv, err := serve.NewServer(serve.Options{
+		Workers:     workers,
+		MaxInflight: maxInflight,
+		MaxQueue:    maxQueue,
+		CacheDir:    cacheDir,
+		Registry:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv, err := obshttp.Start(addr, srv)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "aeropackd: listening on %s\n", httpSrv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "aeropackd: shutting down")
+	// Listener first (no new jobs can start), then the job drain.
+	if err := httpSrv.Close(); err != nil {
+		return err
+	}
+	return srv.Close()
+}

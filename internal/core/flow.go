@@ -42,6 +42,13 @@ type BoardDesign struct {
 	// as a discrete point mass at its placement — the ANSYS-grade pass
 	// for boards whose mass is dominated by a few heavy parts.
 	DetailedMech bool
+
+	// Stop, when non-nil, is the per-request budget seam (aeropackd):
+	// it is forwarded to the level-2 FV solve's SolveOptions.Stop and
+	// the level-3 network's Stop, so it is polled once per solver
+	// iteration.  Returning true aborts the pass with an error wrapping
+	// linalg.ErrStopped.  Never serialized with the design.
+	Stop func() bool `json:"-"`
 }
 
 // defaults fills customary values.
@@ -396,8 +403,9 @@ func (b *BoardDesign) level2(screen Screen, parent *obs.Span) (*Level2Result, er
 		}
 	}
 	// Fallback walks the robust solver ladder if the primary CG solve
-	// fails; a first-rung success stays bitwise-identical.
-	res, err := m.SolveSteady(&thermal.SolveOptions{Span: sp, Fallback: true})
+	// fails; a first-rung success stays bitwise-identical.  Stop is the
+	// per-request budget (nil for the default wall-clock guard).
+	res, err := m.SolveSteady(&thermal.SolveOptions{Span: sp, Fallback: true, Stop: b.Stop})
 	if err != nil {
 		return nil, err
 	}
@@ -424,6 +432,7 @@ func (b *BoardDesign) level3(l2 *Level2Result, parent *obs.Span) (*Level3Result,
 	defer sp.End()
 	n := thermal.NewNetwork()
 	n.Obs = sp
+	n.Stop = b.Stop
 	airC := b.ChannelAirC
 	if b.EdgeCooling != ForcedAir {
 		airC = l2.MeanBoardC // stagnant internal air rides near the board

@@ -82,6 +82,14 @@ type Config struct {
 	// solver had.  Production configurations leave it nil.
 	FaultFn func(powerW float64) error
 
+	// Stop is the per-request budget seam (aeropackd): when non-nil it
+	// is installed as thermal.Network.Stop on every network this
+	// configuration builds, so it is polled once per solver iteration
+	// and between Picard passes.  Returning true aborts the solve with
+	// an error wrapping linalg.ErrStopped.  Must be safe for concurrent
+	// calls — parallel sweeps share one callback across workers.
+	Stop func() bool
+
 	// setup is the solver-setup cache shared by every network this
 	// configuration builds: a capability bisection or Fig. 10 sweep
 	// solves dozens of near-identical systems (same topology, different
@@ -264,6 +272,7 @@ func (c *Config) BuildNetwork(power float64) (*thermal.Network, error) {
 	Ta := units.CToK(c.AmbientC)
 	n := thermal.NewNetwork()
 	n.Setup = c.setup
+	n.Stop = c.Stop
 	n.FixT("air", Ta)
 	n.AddSource("pcb", power)
 
@@ -611,56 +620,110 @@ func RunFig10(structure materials.Material) (*Fig10Summary, error) {
 	return &s, nil
 }
 
-// RunFig10Parallel computes the same summary as RunFig10 with the six
-// independent sub-studies (three capability bisections, three point
-// solves) evaluated concurrently across at most workers goroutines.
-// Every task builds its configurations from scratch, so nothing is
-// shared and the summary is identical to the serial one.
-func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary, error) {
+// Fig10Options bundles the execution controls of a Fig. 10 comparison:
+// the structural material under test plus the production knobs the
+// aeropackd service threads through every study — worker count,
+// keep-going degradation, a per-request solver budget and the
+// fault-injection seam.
+type Fig10Options struct {
+	// Structure is the seat structural material (the paper's aluminium
+	// versus carbon-composite story).
+	Structure materials.Material
+	// Workers bounds the concurrent sub-studies (<= 0 means GOMAXPROCS).
+	Workers int
+	// KeepGoing converts sub-study failures into robust.PointError
+	// values with NaN summary fields instead of aborting the run.
+	KeepGoing bool
+	// Stop, when non-nil, is installed on every sub-study configuration
+	// as the per-request solver budget (see Config.Stop).
+	Stop func() bool
+	// Fault, when non-nil, is installed as every sub-study's FaultFn —
+	// the robustness-test seam; production callers leave it nil.
+	Fault func(powerW float64) error
+}
+
+// RunFig10Opts executes the full Fig. 10 comparison under the given
+// options.  The six independent sub-studies (three capability
+// bisections, three point solves) run concurrently; every task builds
+// its configurations from scratch, so nothing is shared and the summary
+// is bitwise-identical at any worker count.  Without KeepGoing the
+// first failure aborts with a nil summary; with it, failed sub-studies
+// yield NaN fields plus a robust.PointError each while surviving fields
+// stay bitwise-identical to the clean run's.
+func RunFig10Opts(o Fig10Options) (*Fig10Summary, []*robust.PointError, error) {
 	sp := obs.Start(nil, "cosee.RunFig10")
 	defer sp.End()
-	sp.Attr("structure", structure.Name)
-	sp.AttrInt("workers", parallel.Workers(workers))
-	tasks := []func() (float64, error){
-		func() (float64, error) {
-			c := Config{Structure: structure}
+	sp.Attr("structure", o.Structure.Name)
+	sp.AttrInt("workers", parallel.Workers(o.Workers))
+	if o.KeepGoing {
+		sp.Attr("keep_going", "true")
+	}
+	cfg := func(useLHP bool, tiltDeg float64) Config {
+		return Config{
+			UseLHP: useLHP, TiltDeg: tiltDeg, Structure: o.Structure,
+			FaultFn: o.Fault, Stop: o.Stop,
+		}
+	}
+	type study struct {
+		label string
+		fn    func() (float64, error)
+	}
+	tasks := []study{
+		{"capability-nolhp", func() (float64, error) {
+			c := cfg(false, 0)
 			return c.capabilityObs(sp, 60)
-		},
-		func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure}
+		}},
+		{"capability-lhp", func() (float64, error) {
+			c := cfg(true, 0)
 			return c.capabilityObs(sp, 60)
-		},
-		func() (float64, error) {
-			c := Config{UseLHP: true, TiltDeg: 22, Structure: structure}
+		}},
+		{"capability-tilt", func() (float64, error) {
+			c := cfg(true, 22)
 			return c.capabilityObs(sp, 60)
-		},
-		func() (float64, error) {
-			c := Config{Structure: structure}
+		}},
+		{"deltaT-nolhp-40W", func() (float64, error) {
+			c := cfg(false, 0)
 			p, err := c.solveObs(sp, 40)
 			return p.DeltaTK, err
-		},
-		func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure}
+		}},
+		{"deltaT-lhp-40W", func() (float64, error) {
+			c := cfg(true, 0)
 			p, err := c.solveObs(sp, 40)
 			return p.DeltaTK, err
-		},
-		func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure}
+		}},
+		{"lhp-power-100W", func() (float64, error) {
+			c := cfg(true, 0)
 			p, err := c.solveObs(sp, 100)
 			return p.LHPPower, err
-		},
+		}},
 	}
 	prog := obs.CurrentBoard().Begin("cosee.RunFig10", len(tasks))
 	defer prog.Finish()
-	vals, err := parallel.Map(tasks, workers, func(_ int, fn func() (float64, error)) (float64, error) {
-		v, err := fn()
-		if err == nil {
-			prog.Step(1)
+	var vals []float64
+	var errs []*robust.PointError
+	if o.KeepGoing {
+		vals, errs = robust.MapKeepGoing(tasks, o.Workers,
+			func(_ int, s study) string { return s.label },
+			func(_ int, s study) (float64, error) {
+				v, err := s.fn()
+				prog.Step(1) // keep-going campaigns count failed studies as visited
+				return v, err
+			})
+		for _, pe := range errs {
+			vals[pe.Index] = math.NaN()
 		}
-		return v, err
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		var err error
+		vals, err = parallel.Map(tasks, o.Workers, func(_ int, s study) (float64, error) {
+			v, err := s.fn()
+			if err == nil {
+				prog.Step(1)
+			}
+			return v, err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	s := Fig10Summary{
 		CapabilityNoLHP: vals[0],
@@ -672,7 +735,17 @@ func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary,
 	}
 	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
 	s.CoolingAt40W = s.DeltaTNoLHP40W - s.DeltaTLHP40W
-	return &s, nil
+	return &s, errs, nil
+}
+
+// RunFig10Parallel computes the same summary as RunFig10 with the six
+// independent sub-studies (three capability bisections, three point
+// solves) evaluated concurrently across at most workers goroutines.
+// Every task builds its configurations from scratch, so nothing is
+// shared and the summary is identical to the serial one.
+func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary, error) {
+	s, _, err := RunFig10Opts(Fig10Options{Structure: structure, Workers: workers})
+	return s, err
 }
 
 // RunFig10KeepGoing computes the Fig. 10 summary like RunFig10Parallel
@@ -683,67 +756,10 @@ func RunFig10Parallel(structure materials.Material, workers int) (*Fig10Summary,
 // every sub-study configuration — the seam the golden robustness test
 // uses to fail one study; production callers pass nil.
 func RunFig10KeepGoing(structure materials.Material, workers int, fault func(powerW float64) error) (*Fig10Summary, []*robust.PointError) {
-	sp := obs.Start(nil, "cosee.RunFig10")
-	defer sp.End()
-	sp.Attr("structure", structure.Name)
-	sp.AttrInt("workers", parallel.Workers(workers))
-	sp.Attr("keep_going", "true")
-	type study struct {
-		label string
-		fn    func() (float64, error)
-	}
-	tasks := []study{
-		{"capability-nolhp", func() (float64, error) {
-			c := Config{Structure: structure, FaultFn: fault}
-			return c.capabilityObs(sp, 60)
-		}},
-		{"capability-lhp", func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
-			return c.capabilityObs(sp, 60)
-		}},
-		{"capability-tilt", func() (float64, error) {
-			c := Config{UseLHP: true, TiltDeg: 22, Structure: structure, FaultFn: fault}
-			return c.capabilityObs(sp, 60)
-		}},
-		{"deltaT-nolhp-40W", func() (float64, error) {
-			c := Config{Structure: structure, FaultFn: fault}
-			p, err := c.solveObs(sp, 40)
-			return p.DeltaTK, err
-		}},
-		{"deltaT-lhp-40W", func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
-			p, err := c.solveObs(sp, 40)
-			return p.DeltaTK, err
-		}},
-		{"lhp-power-100W", func() (float64, error) {
-			c := Config{UseLHP: true, Structure: structure, FaultFn: fault}
-			p, err := c.solveObs(sp, 100)
-			return p.LHPPower, err
-		}},
-	}
-	prog := obs.CurrentBoard().Begin("cosee.RunFig10", len(tasks))
-	defer prog.Finish()
-	vals, errs := robust.MapKeepGoing(tasks, workers,
-		func(_ int, s study) string { return s.label },
-		func(_ int, s study) (float64, error) {
-			v, err := s.fn()
-			prog.Step(1) // keep-going campaigns count failed studies as visited
-			return v, err
-		})
-	for _, pe := range errs {
-		vals[pe.Index] = math.NaN()
-	}
-	s := Fig10Summary{
-		CapabilityNoLHP: vals[0],
-		CapabilityLHP:   vals[1],
-		CapabilityTilt:  vals[2],
-		DeltaTNoLHP40W:  vals[3],
-		DeltaTLHP40W:    vals[4],
-		LHPPowerAt100W:  vals[5],
-	}
-	s.ImprovementPct = (s.CapabilityLHP - s.CapabilityNoLHP) / s.CapabilityNoLHP * 100
-	s.CoolingAt40W = s.DeltaTNoLHP40W - s.DeltaTLHP40W
-	return &s, errs
+	s, errs, _ := RunFig10Opts(Fig10Options{
+		Structure: structure, Workers: workers, KeepGoing: true, Fault: fault,
+	})
+	return s, errs
 }
 
 // FleetResult quantifies the paper's economic argument for passive

@@ -27,7 +27,10 @@ type CompareOptions struct {
 // DefaultCompareOptions is the verify.sh gate configuration: 10 % slack
 // on time and allocation count, 25 % on bytes (size-class effects), 5 %
 // on solver iterations (deterministic, so any growth is a real
-// algorithmic change).
+// algorithmic change), and serve-latency percentiles with widening
+// slack toward the tail (p99 is sampled from far fewer requests than
+// p50, so it jitters more run-to-run).  throughput_rps is deliberately
+// absent: it is higher-is-better, and MaxRatios only models costs.
 func DefaultCompareOptions() CompareOptions {
 	return CompareOptions{
 		MaxRatios: map[string]float64{
@@ -35,6 +38,9 @@ func DefaultCompareOptions() CompareOptions {
 			"B/op":            1.25,
 			"allocs/op":       1.10,
 			"solver_iters/op": 1.05,
+			"p50_ms":          1.25,
+			"p95_ms":          1.35,
+			"p99_ms":          1.50,
 		},
 		MinNs: 5,
 	}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"math"
+	"sort"
+)
+
+// Latency percentile support for the aeropack-bench/v1 schema.  The
+// serve load harness measures thousands of per-request durations; the
+// helpers here reduce them to the standard percentile metric units
+// (p50_ms / p95_ms / p99_ms) that ParseBench already round-trips as
+// ordinary "<value> <unit>" pairs and CompareBenchSets watches with the
+// tail-latency thresholds of DefaultCompareOptions — no side format.
+
+// Quantile returns the q-quantile (0 <= q <= 1) of samples using linear
+// interpolation between closest order statistics (the "R-7" definition
+// most tooling uses).  The input is not modified.  NaN is returned for
+// an empty sample set or a q outside [0, 1], so a missing measurement
+// can never masquerade as a zero-latency one.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// LatencyMetrics reduces nanosecond duration samples to the standard
+// percentile metric map: p50_ms, p95_ms and p99_ms (milliseconds, the
+// human-scale unit for request latencies).  The keys match the units
+// the serve benchmarks emit via b.ReportMetric, so a BenchEntry built
+// from these metrics lands in BENCH_serve.json through the ordinary
+// ParseBench/WriteJSON pipeline.  Nil is returned for an empty sample
+// set — aeropack-bench/v1 omits empty metric maps.
+func LatencyMetrics(durationNs []float64) map[string]float64 {
+	if len(durationNs) == 0 {
+		return nil
+	}
+	const nsPerMs = 1e6
+	return map[string]float64{
+		"p50_ms": Quantile(durationNs, 0.50) / nsPerMs,
+		"p95_ms": Quantile(durationNs, 0.95) / nsPerMs,
+		"p99_ms": Quantile(durationNs, 0.99) / nsPerMs,
+	}
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"median-odd", []float64{3, 1, 2}, 0.5, 2},
+		{"median-even", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"min", []float64{5, 1, 9}, 0, 1},
+		{"max", []float64{5, 1, 9}, 1, 9},
+		{"single", []float64{7}, 0.99, 7},
+		{"p95-interpolated", []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+			11, 12, 13, 14, 15, 16, 17, 18, 19, 20}, 0.95, 19},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Quantile(c.samples, c.q)
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Quantile(%v, %g) = %g, want %g", c.samples, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	_ = Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Quantile reordered its input: %v", in)
+	}
+}
+
+func TestQuantileInvalid(t *testing.T) {
+	for _, c := range []struct {
+		name    string
+		samples []float64
+		q       float64
+	}{
+		{"empty", nil, 0.5},
+		{"q-negative", []float64{1}, -0.1},
+		{"q-above-one", []float64{1}, 1.1},
+		{"q-nan", []float64{1}, math.NaN()},
+	} {
+		if got := Quantile(c.samples, c.q); !math.IsNaN(got) {
+			t.Errorf("%s: Quantile = %g, want NaN", c.name, got)
+		}
+	}
+}
+
+func TestLatencyMetrics(t *testing.T) {
+	// 100 samples of 1..100 ms in nanoseconds.
+	ns := make([]float64, 100)
+	for i := range ns {
+		ns[i] = float64(i+1) * 1e6
+	}
+	m := LatencyMetrics(ns)
+	if m == nil {
+		t.Fatal("LatencyMetrics returned nil for nonempty samples")
+	}
+	for unit, want := range map[string]float64{
+		"p50_ms": 50.5, "p95_ms": 95.05, "p99_ms": 99.01,
+	} {
+		if got := m[unit]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+	if LatencyMetrics(nil) != nil {
+		t.Error("LatencyMetrics(nil) should be nil")
+	}
+}
+
+// TestComparePercentiles pins the satellite requirement: percentile
+// metrics recorded by the load harness are watched by the regression
+// gate with the tail-widening default thresholds.
+func TestComparePercentiles(t *testing.T) {
+	baseline := &BenchSet{Schema: "aeropack-bench/v1", Benchmarks: []BenchEntry{{
+		Name: "Serve_LoadGen", Procs: 8, Iterations: 1, NsPerOp: 2e9,
+		Metrics: map[string]float64{"p50_ms": 10, "p95_ms": 40, "p99_ms": 80},
+	}}}
+	candidate := &BenchSet{Schema: "aeropack-bench/v1", Benchmarks: []BenchEntry{{
+		Name: "Serve_LoadGen", Procs: 8, Iterations: 1, NsPerOp: 2e9,
+		Metrics: map[string]float64{"p50_ms": 10, "p95_ms": 40, "p99_ms": 125},
+	}}}
+	rep := CompareBenchSets(baseline, candidate, DefaultCompareOptions())
+	if rep.OK() {
+		t.Fatal("p99 regression 80 -> 125 ms (1.56x > 1.50x) not caught")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Unit != "p99_ms" {
+		t.Fatalf("regressions = %v, want exactly one p99_ms", rep.Regressions)
+	}
+	if !strings.Contains(rep.Regressions[0].String(), "p99_ms") {
+		t.Errorf("regression text %q misses the unit", rep.Regressions[0])
+	}
+
+	// Inside-threshold tail drift passes.
+	candidate.Benchmarks[0].Metrics["p99_ms"] = 110
+	if rep := CompareBenchSets(baseline, candidate, DefaultCompareOptions()); !rep.OK() {
+		t.Errorf("p99 80 -> 110 ms (1.38x <= 1.50x) flagged: %v", rep.Regressions)
+	}
+}

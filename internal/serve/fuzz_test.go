@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzStudyRequest checks the request decoder's invariants on arbitrary
+// bytes: it never panics, never accepts a request its own validator
+// rejects, and every accepted request survives a marshal → decode
+// round-trip intact (the property that makes stored request documents
+// replayable).  The seed corpus mirrors the contract fixtures plus the
+// known-tricky shapes; regressions found by fuzzing land as files under
+// testdata/fuzz/FuzzStudyRequest.
+func FuzzStudyRequest(f *testing.F) {
+	f.Add([]byte(`{"kind": "fig10"}`))
+	f.Add([]byte(`{"kind": "fig10", "fig10": {"structure": "Al6061"}, "async": true}`))
+	f.Add([]byte(`{"kind": "sweep", "keep_going": true, "sweep": {"use_lhp": true, "tilt_deg": 22, "powers_w": [30, 60]}}`))
+	f.Add([]byte(`{"kind": "techmap", "budget": {"max_solver_iters": 100, "max_wall_ms": 50}, "techmap": {"powers_w": [10], "fluxes_w_cm2": [1]}}`))
+	f.Add([]byte(`{"kind": "qualification", "qualification": {"extended": true, "article": {"name": "seb", "mass_kg": 3.5, "cosee": {"use_lhp": true}}}}`))
+	f.Add([]byte(`{"kind": "study", "study": {"name": "b", "components": [{"refdes": "U1", "package": "BGA256", "power_w": 2, "x_mm": 1, "y_mm": 1}]}}`))
+	f.Add([]byte(`{"schema": "aeropack-study-request/v1", "kind": "sweep", "sweep": {"powers_w": [-5]}}`))
+	f.Add([]byte(`{"kind": "warp-field"}`))
+	f.Add([]byte(`{"kind": "sweep"}`))
+	f.Add([]byte(`{"kind": "fig10", "buget": {}}`))
+	f.Add([]byte(`{"kind": "fig10", "budget": {"max_wall_ms": -1}}`))
+	f.Add([]byte(`{"kind": "fig10", "fig10": {}, "sweep": {"powers_w": [1]}}`))
+	f.Add([]byte(`{"kind": "fig10"}{"kind": "fig10"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		req, serr := decodeRequest(in)
+		if serr != nil {
+			if req != nil {
+				t.Fatal("decodeRequest returned both a request and an error")
+			}
+			if serr.Status < 400 || serr.Status > 499 || serr.Code == "" {
+				t.Fatalf("decode error has bad transport metadata: %+v", serr)
+			}
+			return
+		}
+		// Accepted requests must satisfy the validator (decode runs it,
+		// so a violation means they disagree on a copy somewhere).
+		if v := req.validate(); v != nil {
+			t.Fatalf("accepted request fails validate: %s", v.Error)
+		}
+		// Round-trip: our own marshal must re-decode to the same value.
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshaling accepted request: %v", err)
+		}
+		req2, serr2 := decodeRequest(out)
+		if serr2 != nil {
+			t.Fatalf("re-decoding marshaled request: %s\nmarshaled: %s", serr2.Error, out)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("round-trip changed the request:\nin:  %+v\nout: %+v", req, req2)
+		}
+		// The cache key is a pure function of the bytes.
+		if requestKey(in) != requestKey(bytes.Clone(in)) {
+			t.Fatal("requestKey is not deterministic")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,16 @@ type Network struct {
 	// Safe for concurrent solves; nil means each solve call builds a
 	// private one.
 	Setup *linalg.SolverSetup
+
+	// Stop, when non-nil, is the per-request budget seam: it is forwarded
+	// to every linear solve's linalg.IterOptions.Stop (through the robust
+	// chain) and polled between Picard passes.  Returning true aborts the
+	// solve with an error wrapping linalg.ErrStopped.  Budgeted solves
+	// skip the exact-result cache — a cache hit would never poll the
+	// callback, hiding fault-injection stops (the same reasoning as
+	// thermal.SolveOptions).  Must be safe for concurrent calls when the
+	// network is solved from a parallel sweep.
+	Stop func() bool
 }
 
 type resistor struct {
@@ -247,6 +258,14 @@ func (n *Network) solveSteady(tolK float64, maxIter int, warm *NetworkState) (*S
 	prevDelta := math.Inf(1)
 	var result *SteadyResult
 	for pass := 0; pass < maxIter; pass++ {
+		// The budget callback is polled between passes as well as inside
+		// the linear solver: a tiny network's CG may finish (or fall back
+		// to the dense solve) before the budget trips, and without this
+		// check the Picard loop would burn the rest of its passes on a
+		// request that already exceeded its allowance.
+		if n.Stop != nil && pass > 0 && n.Stop() {
+			return nil, fmt.Errorf("thermal: network %w after %d Picard passes", linalg.ErrStopped, pass)
+		}
 		// T warm-starts the linear solve: on the first pass it is the
 		// seeded field, afterwards the previous Picard iterate, which is
 		// within tolK of the solution near convergence.
@@ -353,8 +372,12 @@ func (n *Network) solveLinear(sp *obs.Span, rs []float64, x0 []float64, setup *l
 
 	a := coo.ToCSR()
 	tol := 1e-12
+	// Budgeted solves bypass the exact-result cache: a hit would return
+	// without ever polling Stop, so a fault-injection or budget callback
+	// could never observe the solve (mirrors thermal.SolveOptions).
+	useCache := setup != nil && n.Stop == nil
 	var key linalg.SolveKey
-	if setup != nil {
+	if useCache {
 		key = setup.Key("network:cg-ic0", a, b, x0, tol)
 		if x, _, ok := setup.Cached(key); ok {
 			return x, nil
@@ -369,8 +392,14 @@ func (n *Network) solveLinear(sp *obs.Span, rs []float64, x0 []float64, setup *l
 	chain := robust.ChainFor("cg-ic0", 0, tol, 20*num+200)
 	chain.Span = sp
 	chain.Setup = setup
+	chain.Stop = n.Stop
 	x, out, err := chain.Solve(a, b, x0)
 	if err != nil {
+		// A tripped budget must surface as ErrStopped, not be papered
+		// over by the dense last resort.
+		if errors.Is(err, linalg.ErrStopped) {
+			return nil, err
+		}
 		if num <= 600 {
 			xd, derr := linalg.SolveDense(a.ToDense(), b)
 			if derr == nil {
@@ -379,7 +408,7 @@ func (n *Network) solveLinear(sp *obs.Span, rs []float64, x0 []float64, setup *l
 		}
 		return nil, err
 	}
-	if setup != nil && out.AttemptUsed == 0 && !out.Relaxed {
+	if useCache && out.AttemptUsed == 0 && !out.Relaxed {
 		setup.Store(key, x, out.Stats)
 	}
 	return x, nil

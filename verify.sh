@@ -76,6 +76,7 @@ go test -race ./internal/robust
 
 echo "== coverage floors"
 coverage_floor ./internal/robust 85
+coverage_floor ./internal/serve 85
 
 echo "== solver performance guard (E5 iteration budget, parallel-vs-serial)"
 AEROPACK_SOLVER_GUARD=1 go test -run TestSolverPerfGuard -v . | grep -v '^=== '
@@ -94,6 +95,12 @@ go test -run - -bench 'BenchmarkRecorderDisabled|BenchmarkObsDisabledSpan' -benc
 
 echo "== ops endpoint smoke (live Fig. 10 sweep answering all four routes)"
 go test -race -count=1 -run TestOpsEndpointDuringLiveSweep ./internal/obs/obshttp
+
+echo "== aeropackd smoke (build binary, sync+async study, /metrics, SIGTERM)"
+go test -count=1 -run TestAeropackdSmoke ./cmd/aeropackd
+
+echo "== serve load harness smoke (BenchmarkServe_LoadGen, 1 iteration)"
+go test -run - -bench Serve_LoadGen -benchtime 1x ./internal/serve/loadgen
 
 echo "== benchjson -compare watchdog (self-compare every BENCH_*.json)"
 for f in BENCH_*.json; do
