@@ -13,11 +13,16 @@
 //	hotalloc     per-iteration allocation in //lint:hot kernels
 //	budgetstop   driver paths into iterative solvers without a Stop/budget
 //	goroleak     goroutines in library code never joined or cancelled
+//	taintsize    request/flag-derived sizes reaching make or loop bounds unclamped
+//	stopflow     handler paths into solvers without the request's stop predicate
+//	lockorder    cycles in the module-wide mutex acquisition graph
+//	atomicmix    plain access to fields touched via sync/atomic elsewhere
 //
-// spanleak, lockheld, errdrop, budgetstop and goroleak are
-// interprocedural: they follow call-graph summaries across in-module
-// package boundaries, so a violation hidden one call deep — or one
-// package over — is reported at the caller with the full call chain.
+// spanleak, lockheld, errdrop, budgetstop, goroleak and the four
+// value-flow rules are interprocedural: they follow call-graph summaries
+// across in-module package boundaries, so a violation hidden one call
+// deep — or one package over — is reported at the caller with the full
+// call chain.
 //
 // Usage:
 //
@@ -25,6 +30,11 @@
 //
 // Arguments are package directories; a trailing /... lints the whole
 // subtree.  With no arguments the current directory's subtree is linted.
+//
+// Findings that admit a provably-safe rewrite carry a machine-applicable
+// fix; -fix applies every pending fix in place (gofmt-ing the touched
+// files) and -fix -dry-run lists the files that would change, exiting 1
+// when any fix is pending — the CI gate against drift.
 //
 // A finding is suppressed by placing
 //
@@ -64,6 +74,8 @@ func main() {
 		auditAllows = flag.Bool("audit-allows", false, "report //lint:allow directives that no longer suppress anything or lack a reason")
 		cacheDir    = flag.String("cache-dir", "", "content-hash result cache `directory` (default: per-user cache; empty string plus -nocache disables)")
 		noCache     = flag.Bool("nocache", false, "disable the result cache")
+		applyFix    = flag.Bool("fix", false, "apply machine-applicable fixes in place (gofmt included)")
+		dryRun      = flag.Bool("dry-run", false, "with -fix: list files that would change without writing; exit 1 if any fix is pending")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: aeropacklint [flags] [package-dir | dir/...]...\n\n")
@@ -139,6 +151,24 @@ func main() {
 	} else {
 		for _, f := range res.Findings {
 			fmt.Println(f.String())
+		}
+	}
+	if *applyFix {
+		changed, err := lint.ApplyFixes(res.Root, res.Findings, *dryRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aeropacklint:", err)
+			os.Exit(exitError)
+		}
+		verb := "fixed"
+		if *dryRun {
+			verb = "would fix"
+		}
+		for _, file := range changed {
+			fmt.Fprintf(os.Stderr, "aeropacklint: %s %s\n", verb, file)
+		}
+		if *dryRun && lint.PendingFixes(res.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "aeropacklint: %d fix(es) pending\n", lint.PendingFixes(res.Findings))
+			os.Exit(exitFindings)
 		}
 	}
 	if len(res.Findings) > 0 {

@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// BenchmarkLintModule measures the full eleven-rule suite over the real
+// BenchmarkLintModule measures the full fifteen-rule suite over the real
 // module, cold (empty cache, full parse + type-check) and warm (every
 // package served from the content-hash cache, so only hashing and key
 // derivation remain).  The warm/cold ratio is the headline number for
@@ -99,6 +99,35 @@ func BenchmarkLintPhases(b *testing.B) {
 			facts.Gather(loaded)
 		}
 	})
+}
+
+// BenchmarkValueFlow isolates the value-flow engine: a fresh fact
+// gather (taint/lock/solver summaries included) plus the four new rules
+// over the pre-loaded module — the marginal cost v4 added on top of the
+// parse/type-check baseline.
+func BenchmarkValueFlow(b *testing.B) {
+	l, err := NewLoader("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirs, err := l.PackageDirs(l.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.LoadDirsParallel(dirs); err != nil {
+		b.Fatal(err)
+	}
+	loaded := l.Loaded()
+	rules := []Rule{taintsizeRule{}, stopflowRule{}, lockorderRule{}, atomicmixRule{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		facts := NewFacts()
+		facts.Gather(loaded)
+		for _, p := range loaded {
+			p.Facts = facts
+			RunRulesRaw(p, rules)
+		}
+	}
 }
 
 // TestWarmRunUnder50ms pins the headline cache promise: a fully warm

@@ -30,7 +30,9 @@ import (
 // the analysis semantics change in a way the rule-set salt cannot see.
 // v2: findings carry related locations; interprocedural summaries feed
 // the rules (the key already covers callee sources via the dep closure).
-const cacheSchemaVersion = "aeropacklint-cache/v2"
+// v3: findings carry machine-applicable fixes; the value-flow engine
+// (taint, lock-order, atomic-mix facts) feeds four new rules.
+const cacheSchemaVersion = "aeropacklint-cache/v3"
 
 // Cache is a directory of per-package finding files keyed by content
 // hash.  The zero value (empty Dir) is a disabled cache.
@@ -61,6 +63,7 @@ type cachedFinding struct {
 	Msg     string          `json:"msg"`
 	Hint    string          `json:"hint,omitempty"`
 	Related []cachedRelated `json:"related,omitempty"`
+	Fix     *Fix            `json:"fix,omitempty"`
 }
 
 // cachedRelated is the serialized form of one Related location.
@@ -92,6 +95,7 @@ func (c *Cache) Get(key string) ([]Finding, bool) {
 			Rule: cf.Rule,
 			Msg:  cf.Msg,
 			Hint: cf.Hint,
+			Fix:  cf.Fix,
 		}
 		for _, cr := range cf.Related {
 			findings[i].Related = append(findings[i].Related, Related{
@@ -116,7 +120,7 @@ func (c *Cache) Put(key string, findings []Finding) error {
 	for i, f := range findings {
 		cfs[i] = cachedFinding{
 			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
-			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint, Fix: f.Fix,
 		}
 		for _, r := range f.Related {
 			cfs[i].Related = append(cfs[i].Related, cachedRelated{

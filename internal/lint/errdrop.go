@@ -50,7 +50,7 @@ func (errdropRule) Check(p *Package) []Finding {
 			case *ast.DeferStmt:
 				out = append(out, p.checkDroppedError(x.Call)...)
 			case *ast.BinaryExpr:
-				out = append(out, p.checkSentinelCompare(x)...)
+				out = append(out, p.checkSentinelCompare(f, x)...)
 			}
 			return true
 		})
@@ -134,8 +134,9 @@ func (p *Package) checkDroppedError(call *ast.CallExpr) []Finding {
 	return []Finding{f}
 }
 
-// checkSentinelCompare flags err ==/!= Sentinel.
-func (p *Package) checkSentinelCompare(be *ast.BinaryExpr) []Finding {
+// checkSentinelCompare flags err ==/!= Sentinel, attaching the
+// errors.Is rewrite as a machine-applicable fix.
+func (p *Package) checkSentinelCompare(f *ast.File, be *ast.BinaryExpr) []Finding {
 	if be.Op != token.EQL && be.Op != token.NEQ {
 		return nil
 	}
@@ -153,21 +154,22 @@ func (p *Package) checkSentinelCompare(be *ast.BinaryExpr) []Finding {
 	if sentinel == "" {
 		return nil // error-typed but neither side is a package-level sentinel
 	}
-	f := Finding{
+	fnd := Finding{
 		Pos:  p.Fset.Position(be.OpPos),
 		Rule: "errdrop",
 		Msg:  "error compared to sentinel " + sentinel + " with " + be.Op.String(),
 		Hint: "use errors.Is; wrapped errors never match ==",
+		Fix:  p.fixSentinelCompare(f, be),
 	}
 	if obj := p.sentinelObjectOf(be.X, be.Y); obj != nil {
 		if in := p.Facts.WrappedIn(obj); in != "" {
-			f.Msg += "; the sentinel is wrapped with %w in " + in + ", so == can never match"
+			fnd.Msg += "; the sentinel is wrapped with %w in " + in + ", so == can never match"
 			if at, ok := p.Facts.WrappedAt(obj); ok {
-				f.Related = []Related{{Pos: at, Msg: sentinel + " is wrapped with %w here"}}
+				fnd.Related = []Related{{Pos: at, Msg: sentinel + " is wrapped with %w here"}}
 			}
 		}
 	}
-	return []Finding{f}
+	return []Finding{fnd}
 }
 
 func (p *Package) exprIsError(e ast.Expr) bool {

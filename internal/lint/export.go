@@ -24,6 +24,9 @@ type jsonFinding struct {
 	Msg     string        `json:"msg"`
 	Hint    string        `json:"hint,omitempty"`
 	Related []jsonRelated `json:"related,omitempty"`
+	// Fix, when present, is the machine-applicable rewrite resolving the
+	// finding: byte-offset edits against the named (root-relative) files.
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 // jsonRelated is one secondary location of an interprocedural finding —
@@ -41,7 +44,7 @@ func WriteJSONFindings(w io.Writer, findings []Finding) error {
 	for i, f := range findings {
 		rep.Findings[i] = jsonFinding{
 			File: filepath.ToSlash(f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
-			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+			Rule: f.Rule, Msg: f.Msg, Hint: f.Hint, Fix: f.Fix,
 		}
 		for _, r := range f.Related {
 			rep.Findings[i].Related = append(rep.Findings[i].Related, jsonRelated{
@@ -97,6 +100,35 @@ type sarifResult struct {
 	// interprocedural findings; SARIF viewers render them as linked
 	// sub-locations of the result.
 	RelatedLocations []sarifRelatedLocation `json:"relatedLocations,omitempty"`
+	// Fixes carries machine-applicable rewrites; SARIF viewers offer them
+	// as quick-fixes.
+	Fixes []sarifFix `json:"fixes,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion    `json:"deletedRegion"`
+	InsertedContent sarifContentToText `json:"insertedContent"`
+}
+
+// sarifCharRegion addresses a byte range with SARIF's charOffset /
+// charLength region form (offsets are what the fix engine works in).
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}
+
+type sarifContentToText struct {
+	Text string `json:"text"`
 }
 
 type sarifLocation struct {
@@ -162,6 +194,9 @@ func WriteSARIF(w io.Writer, rules []Rule, findings []Finding) error {
 				Message: sarifMessage{Text: r.Msg},
 			})
 		}
+		if f.Fix != nil {
+			results[i].Fixes = []sarifFix{sarifFixOf(f.Fix)}
+		}
 	}
 	log := sarifLog{
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
@@ -171,4 +206,29 @@ func WriteSARIF(w io.Writer, rules []Rule, findings []Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
+}
+
+// sarifFixOf converts a Fix to the SARIF fixes shape, grouping edits by
+// file into one artifactChange each.
+func sarifFixOf(fix *Fix) sarifFix {
+	byFile := make(map[string][]sarifReplacement)
+	var order []string
+	for _, e := range fix.Edits {
+		uri := filepath.ToSlash(e.File)
+		if _, seen := byFile[uri]; !seen {
+			order = append(order, uri)
+		}
+		byFile[uri] = append(byFile[uri], sarifReplacement{
+			DeletedRegion:   sarifCharRegion{CharOffset: e.Offset, CharLength: e.End - e.Offset},
+			InsertedContent: sarifContentToText{Text: e.New},
+		})
+	}
+	out := sarifFix{Description: sarifMessage{Text: fix.Desc}}
+	for _, uri := range order {
+		out.ArtifactChanges = append(out.ArtifactChanges, sarifArtifactChange{
+			ArtifactLocation: sarifArtifactLocation{URI: uri},
+			Replacements:     byFile[uri],
+		})
+	}
+	return out
 }

@@ -14,6 +14,12 @@ func exportFixture() []Finding {
 		Rule: "unitsafety",
 		Msg:  "inline unit-conversion literal 273.15",
 		Hint: "use units.CToK/units.KToC (or units.ZeroCelsius for the constant itself)",
+		Fix: &Fix{
+			Desc: "replace the ±273.15 arithmetic with the units conversion helper",
+			Edits: []TextEdit{{
+				File: "internal/thermal/solve.go", Offset: 980, End: 990, New: "units.CToK(tC)",
+			}},
+		},
 	}, {
 		Pos:  token.Position{Filename: "internal/core/flow.go", Line: 166, Column: 13},
 		Rule: "budgetstop",
@@ -47,6 +53,15 @@ func TestWriteJSONFindings(t *testing.T) {
 				Column int    `json:"column"`
 				Msg    string `json:"msg"`
 			} `json:"related"`
+			Fix *struct {
+				Desc  string `json:"desc"`
+				Edits []struct {
+					File   string `json:"file"`
+					Offset int    `json:"offset"`
+					End    int    `json:"end"`
+					New    string `json:"new"`
+				} `json:"edits"`
+			} `json:"fix"`
 		} `json:"findings"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
@@ -65,6 +80,13 @@ func TestWriteJSONFindings(t *testing.T) {
 	}
 	if len(f.Related) != 0 {
 		t.Errorf("finding without related locations serialized %d of them", len(f.Related))
+	}
+	if f.Fix == nil || f.Fix.Desc == "" || len(f.Fix.Edits) != 1 {
+		t.Fatalf("fix not serialized: %+v", f.Fix)
+	}
+	if e := f.Fix.Edits[0]; e.File != "internal/thermal/solve.go" || e.Offset != 980 ||
+		e.End != 990 || e.New != "units.CToK(tC)" {
+		t.Errorf("fix edit fields off: %+v", e)
 	}
 	ipa := rep.Findings[1]
 	if len(ipa.Related) != 1 {
@@ -148,6 +170,32 @@ func TestWriteSARIFShape(t *testing.T) {
 	}
 	if _, present := res["relatedLocations"]; present {
 		t.Error("finding without related locations emitted relatedLocations")
+	}
+
+	// The fix rides along as a SARIF fixes entry with charOffset /
+	// charLength replacements.
+	fixes, ok := res["fixes"].([]any)
+	if !ok || len(fixes) != 1 {
+		t.Fatalf("fixes = %v, want exactly one", res["fixes"])
+	}
+	fx := fixes[0].(map[string]any)
+	if txt := fx["description"].(map[string]any)["text"].(string); txt == "" {
+		t.Error("fix description.text empty")
+	}
+	ac := fx["artifactChanges"].([]any)[0].(map[string]any)
+	if uri := ac["artifactLocation"].(map[string]any)["uri"]; uri != "internal/thermal/solve.go" {
+		t.Errorf("fix artifactLocation.uri = %v", uri)
+	}
+	repl := ac["replacements"].([]any)[0].(map[string]any)
+	dr := repl["deletedRegion"].(map[string]any)
+	if int(dr["charOffset"].(float64)) != 980 || int(dr["charLength"].(float64)) != 10 {
+		t.Errorf("deletedRegion = %v, want charOffset 980 charLength 10", dr)
+	}
+	if txt := repl["insertedContent"].(map[string]any)["text"]; txt != "units.CToK(tC)" {
+		t.Errorf("insertedContent.text = %v", txt)
+	}
+	if _, present := results[1].(map[string]any)["fixes"]; present {
+		t.Error("finding without a fix emitted fixes")
 	}
 
 	// The interprocedural finding carries its secondary position as a

@@ -42,8 +42,58 @@ type Facts struct {
 	// magicConst maps an exported constant object to the units hint for
 	// the conversion factor its value equals.
 	magicConst map[types.Object]string
+	// flagVar maps a package-level variable bound to flag.Int-family
+	// results to the flag's name (taintsize source).
+	flagVar map[types.Object]string
+	// clampedField marks json-tagged fields that are ordering-compared
+	// somewhere in their declaring package — the validate()-caps idiom
+	// that sanitizes the field module-wide (taintsize).
+	clampedField map[types.Object]bool
+	// atomicAccess maps a variable or field object to the sync/atomic
+	// call that touches it (atomicmix).
+	atomicAccess map[types.Object]AtomicFact
+	// lockEdges is the module-wide lock-order graph: every observed
+	// "acquire B while holding A" pair, tagged with the package that
+	// proves it (lockorder).
+	lockEdges    []LockEdge
+	lockEdgeSeen map[lockEdgeKey]bool
 	// sums is the call-graph summary store (interprocedural fact kind).
 	sums *summaries
+}
+
+// AtomicFact records one sync/atomic access to a variable or field.
+type AtomicFact struct {
+	// Fn names the atomic operation, e.g. "atomic.AddInt64".
+	Fn string
+	// Pos is the atomic call site.
+	Pos token.Position
+	// Pkg is the import path of the package performing the access; the
+	// fact is only visible to packages whose import closure contains it.
+	Pkg string
+}
+
+// LockEdge is one observed ordered pair of mutex acquisitions: To was
+// acquired (directly or through a callee) while From was held.
+type LockEdge struct {
+	From, To types.Object
+	// FromName/ToName are the receivers' printed forms at the sites.
+	FromName, ToName string
+	// FromPos is where the held lock was taken.
+	FromPos token.Position
+	// Pos is the second acquisition site, inside Pkg.
+	Pos token.Position
+	// AcqPos is the underlying Lock() site when the acquisition happens
+	// in a callee (zero for a direct acquisition).
+	AcqPos token.Position
+	// Chain lists the callees between Pos and AcqPos.
+	Chain []string
+	// Pkg is the import path of the package the edge was observed in.
+	Pkg string
+}
+
+type lockEdgeKey struct {
+	from, to types.Object
+	pkg      string
 }
 
 // NewFacts returns an empty store.
@@ -52,6 +102,10 @@ func NewFacts() *Facts {
 		wrappedSentinel:   make(map[types.Object]string),
 		wrappedSentinelAt: make(map[types.Object]token.Position),
 		magicConst:        make(map[types.Object]string),
+		flagVar:           make(map[types.Object]string),
+		clampedField:      make(map[types.Object]bool),
+		atomicAccess:      make(map[types.Object]AtomicFact),
+		lockEdgeSeen:      make(map[lockEdgeKey]bool),
 		sums:              newSummaries(),
 	}
 }
@@ -155,6 +209,82 @@ func (fs *Facts) MagicHint(obj types.Object) string {
 	return fs.magicConst[obj]
 }
 
+// FlagVar returns the flag name a package-level variable was bound to
+// via flag.Int and friends, or "".
+func (fs *Facts) FlagVar(obj types.Object) string {
+	if fs == nil || obj == nil {
+		return ""
+	}
+	return fs.flagVar[obj]
+}
+
+// FieldClamped reports whether the json-tagged field is ordering-
+// compared in its declaring package (a module-wide clamp).
+func (fs *Facts) FieldClamped(obj types.Object) bool {
+	return fs != nil && obj != nil && fs.clampedField[obj]
+}
+
+// AtomicAccess returns the sync/atomic access fact for a variable or
+// field object.
+func (fs *Facts) AtomicAccess(obj types.Object) (AtomicFact, bool) {
+	if fs == nil || obj == nil {
+		return AtomicFact{}, false
+	}
+	af, ok := fs.atomicAccess[obj]
+	return af, ok
+}
+
+// LockEdges returns the module-wide lock-order graph.  Consumers must
+// filter by their import closure (LockEdge.Pkg) to stay cache-sound.
+func (fs *Facts) LockEdges() []LockEdge {
+	if fs == nil {
+		return nil
+	}
+	return fs.lockEdges
+}
+
+// SizeFactsOf lists fn's parameters that size an allocation or bound a
+// loop without a clamp.
+func (fs *Facts) SizeFactsOf(fn *types.Func) []SizeFact {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return nil
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return nil
+	}
+	return s.sizeFacts(cn)
+}
+
+// SolverTouch reports whether fn (transitively) reaches any iterative-
+// solver entry, budgeted or not.
+func (fs *Facts) SolverTouch(fn *types.Func) *SolverFact {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return nil
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return nil
+	}
+	return s.solverTouch(cn)
+}
+
+// CompilesStop reports whether fn (transitively) compiles a request
+// Budget into a stop predicate.
+func (fs *Facts) CompilesStop(fn *types.Func) bool {
+	s := fs.summaries()
+	if s == nil || fn == nil {
+		return false
+	}
+	cn := s.nodes[fn]
+	if cn == nil {
+		return false
+	}
+	return s.compilesStop(cn)
+}
+
 // Gather scans pkgs and records every fact they prove.  Call it with
 // every loaded package (the Loader's Loaded() slice) before running
 // rules, so consumers in importing packages see a complete store.  The
@@ -164,12 +294,16 @@ func (fs *Facts) Gather(pkgs []*Package) {
 	for _, p := range pkgs {
 		fs.gatherWrappedSentinels(p)
 		fs.gatherMagicConsts(p)
+		fs.gatherFlagVars(p)
+		fs.gatherClampedFields(p)
+		fs.gatherAtomicAccess(p)
 	}
 	if fs.sums != nil {
 		for _, p := range pkgs {
 			fs.sums.index(p)
 		}
 		fs.sums.forceAll()
+		fs.gatherLockEdges()
 	}
 }
 
@@ -281,4 +415,335 @@ func (fs *Facts) gatherMagicConsts(p *Package) {
 			}
 		}
 	}
+}
+
+// gatherFlagVars records package-level variables bound to flag.Int-
+// family results; derefs of such vars are taintsize sources everywhere
+// the variable is visible.
+func (fs *Facts) gatherFlagVars(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					call, ok := unparen(vs.Values[i]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					flagName := flagIntCall(p, call)
+					if flagName == "" {
+						continue
+					}
+					if obj := p.Info.Defs[name]; obj != nil {
+						fs.flagVar[obj] = flagName
+					}
+				}
+			}
+		}
+	}
+}
+
+// gatherClampedFields records json-tagged fields that are ordering-
+// compared (directly or via len()) in their own declaring package —
+// the validate()-caps idiom.  Restricting the record to the declaring
+// package keeps fact flow aligned with the import graph: every
+// consumer of the field necessarily imports its declaring package.
+func (fs *Facts) gatherClampedFields(p *Package) {
+	if p.Info == nil || p.Pkg == nil {
+		return
+	}
+	record := func(e ast.Expr) {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fv, tag := jsonFieldOf(p, sel)
+		if fv == nil || jsonTagName(tag) == "" || fv.Pkg() != p.Pkg {
+			return
+		}
+		fs.clampedField[fv] = true
+	}
+	for _, f := range p.Files {
+		// A for-condition comparison is a sink (the field *drives* the
+		// iteration count), not a clamp; exclude it from the record.
+		loopConds := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fo, ok := n.(*ast.ForStmt); ok && fo.Cond != nil {
+				loopConds[fo.Cond] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isOrdering(be.Op) || loopConds[be] {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				record(side)
+				if call, ok := unparen(side).(*ast.CallExpr); ok && isLenOrCap(p, call) {
+					record(call.Args[0])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// gatherAtomicAccess records variables and fields passed by address to
+// sync/atomic operations.  The smallest position wins so concurrent
+// load orders cannot change which site a finding cites.
+func (fs *Facts) gatherAtomicAccess(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, target := atomicCallTarget(p, call)
+			if target == nil {
+				return true
+			}
+			af := AtomicFact{Fn: "atomic." + name, Pos: p.Fset.Position(call.Pos()), Pkg: p.ImportPath}
+			if old, seen := fs.atomicAccess[target]; !seen || posLess(af.Pos, old.Pos) {
+				fs.atomicAccess[target] = af
+			}
+			return true
+		})
+	}
+}
+
+// atomicCallTarget matches atomic.LoadInt64(&x.f) and friends and
+// resolves the target object.
+func atomicCallTarget(p *Package, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", nil
+	}
+	name := sel.Sel.Name
+	prefixed := false
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			prefixed = true
+			break
+		}
+	}
+	if !prefixed {
+		return "", nil
+	}
+	amp, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || amp.Op != token.AND {
+		return "", nil
+	}
+	switch x := unparen(amp.X).(type) {
+	case *ast.Ident:
+		return name, p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return name, p.Info.Uses[x.Sel]
+	}
+	return "", nil
+}
+
+// posLess orders positions by (filename, offset) — the forceAll order.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	return a.Offset < b.Offset
+}
+
+// ---------------------------------------------------------------------
+// Lock-order edges.
+
+// heldLock is one mutex in the lexical held set.
+type heldLock struct {
+	obj  types.Object
+	name string
+	pos  token.Position
+}
+
+// gatherLockEdges walks every function with the lexical held-set
+// discipline of lockheld and records an edge each time a second mutex
+// is acquired — directly, or transitively through a callee's lock
+// summary — while another is held.  Runs after forceAll, in the same
+// deterministic node order.
+func (fs *Facts) gatherLockEdges() {
+	for _, n := range fs.sums.orderedNodes() {
+		fs.lockEdgeBlock(n, n.decl.Body, nil)
+	}
+}
+
+func (fs *Facts) lockEdgeBlock(n *funcNode, block *ast.BlockStmt, held []heldLock) {
+	p := n.pkg
+	cur := append([]heldLock(nil), held...)
+	for _, stmt := range block.List {
+		if obj, name, method, isDefer, pos := lockStmt(p, stmt); method != "" {
+			switch method {
+			case "Lock", "RLock":
+				for _, h := range cur {
+					fs.addLockEdge(n, h, obj, name, pos, token.Position{}, nil)
+				}
+				if !isDefer {
+					cur = append(cur, heldLock{obj: obj, name: name, pos: pos})
+				}
+			case "Unlock", "RUnlock":
+				// A plain Unlock releases; `defer Unlock` keeps the
+				// region open to the end of the function.
+				if !isDefer {
+					for i := len(cur) - 1; i >= 0; i-- {
+						if cur[i].name == name {
+							cur = append(cur[:i], cur[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			continue
+		}
+		if len(cur) > 0 {
+			fs.lockEdgeShallow(n, stmt, cur)
+		}
+		fs.lockEdgeNested(n, stmt, cur)
+	}
+}
+
+// lockStmt classifies a statement as a Lock-family call on a sync
+// mutex, resolving the mutex's identity object.
+func lockStmt(p *Package, stmt ast.Stmt) (obj types.Object, name, method string, isDefer bool, pos token.Position) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call, isDefer = s.Call, true
+	}
+	if call == nil {
+		return nil, "", "", false, token.Position{}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", "", false, token.Position{}
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", "", false, token.Position{}
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return nil, "", "", false, token.Position{}
+	}
+	obj = mutexObject(p, sel.X)
+	if obj == nil {
+		return nil, "", "", false, token.Position{}
+	}
+	return obj, types.ExprString(sel.X), sel.Sel.Name, isDefer, p.Fset.Position(call.Pos())
+}
+
+// lockEdgeShallow inspects one statement (not descending into nested
+// blocks — the recursion handles those — nor into literals, go or defer
+// statements, which run outside the current acquisition order) for
+// acquisitions while held.
+func (fs *Facts) lockEdgeShallow(n *funcNode, stmt ast.Stmt, held []heldLock) {
+	p := n.pkg
+	ast.Inspect(stmt, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if obj, name, ok := mutexAcquire(p, x); ok {
+				for _, h := range held {
+					fs.addLockEdge(n, h, obj, name, p.Fset.Position(x.Pos()), token.Position{}, nil)
+				}
+				return true
+			}
+			fn := calleeFunc(p, x)
+			if fn == nil {
+				return true
+			}
+			if cn := fs.sums.nodes[fn]; cn != nil {
+				for _, lf := range fs.sums.lockFacts(cn) {
+					for _, h := range held {
+						fs.addLockEdge(n, h, lf.Obj, lf.Name, p.Fset.Position(x.Pos()), lf.Pos,
+							prependChain(shortFuncName(fn), lf.Chain))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockEdgeNested recurses into the block children of stmt with the
+// current held set.
+func (fs *Facts) lockEdgeNested(n *funcNode, stmt ast.Stmt, held []heldLock) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		fs.lockEdgeBlock(n, s, held)
+	case *ast.IfStmt:
+		fs.lockEdgeBlock(n, s.Body, held)
+		if s.Else != nil {
+			fs.lockEdgeNested(n, s.Else, held)
+		}
+	case *ast.ForStmt:
+		fs.lockEdgeBlock(n, s.Body, held)
+	case *ast.RangeStmt:
+		fs.lockEdgeBlock(n, s.Body, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				fs.lockEdgeBlock(n, &ast.BlockStmt{List: cc.Body}, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				fs.lockEdgeBlock(n, &ast.BlockStmt{List: cc.Body}, held)
+			}
+		}
+	}
+}
+
+// addLockEdge records one ordered acquisition pair, deduplicated per
+// (from, to, package).  Re-acquiring the same mutex object under a
+// different receiver expression (a.mu then b.mu) is two instances, not
+// an ordering edge; the same printed form is a genuine self-deadlock.
+func (fs *Facts) addLockEdge(n *funcNode, h heldLock, to types.Object, toName string, pos, acqPos token.Position, chain []string) {
+	if to == nil || h.obj == nil {
+		return
+	}
+	if h.obj == to && h.name != toName {
+		return
+	}
+	key := lockEdgeKey{from: h.obj, to: to, pkg: n.pkg.ImportPath}
+	if fs.lockEdgeSeen[key] {
+		return
+	}
+	fs.lockEdgeSeen[key] = true
+	fs.lockEdges = append(fs.lockEdges, LockEdge{
+		From: h.obj, To: to,
+		FromName: h.name, ToName: toName,
+		FromPos: h.pos, Pos: pos, AcqPos: acqPos,
+		Chain: chain, Pkg: n.pkg.ImportPath,
+	})
 }

@@ -38,6 +38,10 @@ type Finding struct {
 	// interprocedural finding reaches through, or a %w wrap site.  It is
 	// carried into the JSON and SARIF exports but not into String().
 	Related []Related
+	// Fix, when non-nil, is a machine-applicable rewrite that resolves
+	// the finding.  Exported as a JSON fix object / SARIF fixes entry
+	// and applied by `aeropacklint -fix`.
+	Fix *Fix
 }
 
 // Related is one secondary location attached to a finding.

@@ -26,9 +26,10 @@ func loadTestPackage(t *testing.T, path, importPath string) *Package {
 		t.Fatal(err)
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: l, Error: func(error) {}}
 	pkg, _ := conf.Check(importPath, l.Fset, []*ast.File{f}, info)
@@ -85,6 +86,10 @@ func TestGolden(t *testing.T) {
 		{"budgetstop", "budgetstop", "testdata/budgetstop_src.go", "aeropack/internal/cosee"},
 		{"goroleak", "goroleak", "testdata/goroleak_src.go", "aeropack/internal/cosee"},
 		{"hotalloc", "hotalloc", "testdata/hotalloc_src.go", "aeropack/internal/cosee"},
+		{"taintsize", "taintsize", "testdata/taintsize_src.go", "aeropack/internal/serve"},
+		{"stopflow", "stopflow", "testdata/stopflow_src.go", "aeropack/internal/serve"},
+		{"lockorder", "lockorder", "testdata/lockorder_src.go", "aeropack/internal/cosee"},
+		{"atomicmix", "atomicmix", "testdata/atomicmix_src.go", "aeropack/internal/cosee"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -138,7 +143,7 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestRulesRegistered pins the rule set: all eleven analyzers register
+// TestRulesRegistered pins the rule set: all fifteen analyzers register
 // themselves and come back sorted by name.
 func TestRulesRegistered(t *testing.T) {
 	var names []string
@@ -148,8 +153,9 @@ func TestRulesRegistered(t *testing.T) {
 			t.Errorf("rule %s has no doc line", r.Name())
 		}
 	}
-	want := []string{"budgetstop", "detguard", "errdrop", "floatcmp", "goroleak",
-		"hotalloc", "lockheld", "nanguard", "panicpolicy", "spanleak", "unitsafety"}
+	want := []string{"atomicmix", "budgetstop", "detguard", "errdrop", "floatcmp",
+		"goroleak", "hotalloc", "lockheld", "lockorder", "nanguard", "panicpolicy",
+		"spanleak", "stopflow", "taintsize", "unitsafety"}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("registered rules = %v, want %v", names, want)
 	}

@@ -1,0 +1,224 @@
+// The stopflow rule: on a handler path in internal/serve, the request's
+// compiled stop predicate must provably reach every iterative-solver
+// call.  budgetstop already rejects solver calls with *no* Stop at all;
+// stopflow is the stronger property — the Stop that is threaded must be
+// *the request's own* (a Budget.stop() result or a func() bool stop
+// parameter), not some unrelated or forgotten one, so an admission
+// budget the client asked for cannot silently fail to bound the solve.
+//
+// Mechanics, per function in a */internal/serve package:
+//
+//   - carry seeds: results of b.stop()/b.Stop() calls on a type named
+//     Budget, and parameters of type func() bool.  Carry propagates
+//     through assignments whose right-hand side mentions a carrying
+//     value (cfg, err := req.Sweep.config(stop) makes cfg carry).
+//   - every call whose callee (transitively, via the solver-touch
+//     summary) reaches a linalg iterative entry must either mention a
+//     carrying value in its arguments/receiver, or resolve to a callee
+//     that compiles the stop itself further down (the handler →
+//     executeStudy hop).
+//   - a function that is in request scope (mentions a StudyRequest
+//     value) but never compiles any stop is flagged on every solver-
+//     touching call: the budget the wire promised never materialized.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type stopflowRule struct{}
+
+func init() { Register(stopflowRule{}) }
+
+func (stopflowRule) Name() string { return "stopflow" }
+
+func (stopflowRule) Doc() string {
+	return "the request's compiled stop predicate must reach every iterative-solver call on serve handler paths"
+}
+
+func (stopflowRule) Check(p *Package) []Finding {
+	if p.Info == nil || !strings.HasSuffix(p.ImportPath, "/internal/serve") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, p.stopflowFunc(fd)...)
+		}
+	}
+	return out
+}
+
+// stopflowFunc analyzes one function: seeds the carry set, walks the
+// body in source order propagating carry through assignments, and
+// checks every solver-touching call.
+func (p *Package) stopflowFunc(fd *ast.FuncDecl) []Finding {
+	carry := make(map[types.Object]bool)
+	hasStop := false
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj != nil && isStopPredicate(obj.Type()) {
+					carry[obj] = true
+					hasStop = true
+				}
+			}
+		}
+	}
+	inReqScope := p.mentionsStudyRequest(fd.Body)
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// b.stop() results and anything derived from a carrying
+			// value start/continue the carry chain.
+			rhsCarries := false
+			for _, r := range x.Rhs {
+				if call, ok := unparen(r).(*ast.CallExpr); ok && isBudgetStopCall(p, call) {
+					rhsCarries = true
+					hasStop = true
+					break
+				}
+				if usesAnyObject(p, r, carry) {
+					rhsCarries = true
+					break
+				}
+			}
+			if rhsCarries {
+				for _, l := range x.Lhs {
+					if obj := lhsObject(p, l); obj != nil {
+						carry[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if f := p.stopflowCall(fd, x, carry, hasStop, inReqScope); f != nil {
+				out = append(out, *f)
+			}
+		}
+		return true
+	})
+	if !hasStop && !inReqScope {
+		return nil // not a handler path; budgetstop covers the rest
+	}
+	return out
+}
+
+// stopflowCall checks one call: if it (transitively) touches a solver,
+// it must carry the stop or compile one downstream.
+func (p *Package) stopflowCall(fd *ast.FuncDecl, call *ast.CallExpr, carry map[types.Object]bool, hasStop, inReqScope bool) *Finding {
+	if !hasStop && !inReqScope {
+		return nil
+	}
+	var touch *SolverFact
+	if name, isEntry := solverEntryCall(p, call); isEntry {
+		touch = &SolverFact{Entry: "linalg." + name, Pos: p.Fset.Position(call.Pos())}
+	} else {
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return nil
+		}
+		if p.Facts.CompilesStop(fn) {
+			return nil // the stop is compiled further down this path
+		}
+		sf := p.Facts.SolverTouch(fn)
+		if sf == nil {
+			return nil
+		}
+		touch = &SolverFact{Entry: sf.Entry, Pos: sf.Pos, Chain: prependChain(shortFuncName(fn), sf.Chain)}
+	}
+	if usesAnyObject(p, call, carry) {
+		return nil // the request's stop (or a value built with it) is threaded
+	}
+	msg := "handler path reaches " + touch.Entry
+	if len(touch.Chain) > 0 {
+		msg += " via " + strings.Join(touch.Chain, " → ")
+	}
+	if hasStop {
+		msg += " without the request's compiled stop predicate"
+	} else {
+		msg += " but never compiles the request's budget into a stop"
+	}
+	f := &Finding{
+		Pos:  p.Fset.Position(call.Pos()),
+		Rule: "stopflow",
+		Msg:  msg,
+		Hint: "thread the Budget.stop() predicate (or the stop parameter) into this call's options",
+	}
+	if len(touch.Chain) > 0 || touch.Pos != f.Pos {
+		f.Related = []Related{{Pos: touch.Pos, Msg: "the iterative-solver call is here"}}
+	}
+	return f
+}
+
+// isStopPredicate matches func() bool — the compiled stop's type.
+func isStopPredicate(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// mentionsStudyRequest reports whether the body touches a value of a
+// type named StudyRequest — the wire request a handler is driven by.
+func (p *Package) mentionsStudyRequest(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj() != nil && named.Obj().Name() == "StudyRequest" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesAnyObject reports whether any identifier under n resolves to an
+// object in set.
+func usesAnyObject(p *Package, n ast.Node, set map[types.Object]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && set[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

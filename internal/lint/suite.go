@@ -148,6 +148,11 @@ func RunModule(opts ModuleOptions) (*ModuleResult, error) {
 				for j := range findings[i].Related {
 					findings[i].Related[j].Pos = relPosition(loader.Root, findings[i].Related[j].Pos)
 				}
+				if fix := findings[i].Fix; fix != nil {
+					for j := range fix.Edits {
+						fix.Edits[j].File = relPath(loader.Root, fix.Edits[j].File)
+					}
+				}
 			}
 			if key := keyByDir[p.Dir]; key != "" {
 				if err := opts.Cache.Put(key, findings); err != nil {
@@ -273,11 +278,17 @@ func expandPatterns(l *Loader, base string, patterns []string) ([]string, error)
 
 // relPosition rewrites the position's filename to be root-relative.
 func relPosition(root string, pos token.Position) token.Position {
-	if root == "" {
-		return pos
-	}
-	if rest, ok := strings.CutPrefix(pos.Filename, root+string(os.PathSeparator)); ok {
-		pos.Filename = rest
-	}
+	pos.Filename = relPath(root, pos.Filename)
 	return pos
+}
+
+// relPath strips the root prefix from a file path.
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, root+string(os.PathSeparator)); ok {
+		return rest
+	}
+	return path
 }

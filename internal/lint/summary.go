@@ -130,6 +130,18 @@ type funcNode struct {
 	goroState  uint8
 	goroDone   bool // body (transitively) calls WaitGroup.Done
 	goroCancel bool // body (transitively) receives/selects/ranges a channel
+
+	sizeState uint8
+	sizes     []SizeFact // parameters that size allocations unclamped
+
+	lockState uint8
+	locks     []LockFact // mutexes the body (transitively) acquires
+
+	touchState uint8
+	touch      *SolverFact // reaches any iterative-solver entry at all
+
+	stopState   uint8
+	stopCompile bool // body (transitively) compiles a Budget stop predicate
 }
 
 // summaries is the call-graph fact kind stored alongside the
@@ -170,6 +182,23 @@ func (s *summaries) index(p *Package) {
 // nodes are visited in (file, offset) order to keep runs deterministic.
 // After forceAll the store is read-only and safe for concurrent rules.
 func (s *summaries) forceAll() {
+	for _, n := range s.orderedNodes() {
+		s.blocking(n)
+		s.spanParams(n)
+		s.solverReach(n)
+		s.errOriginOf(n)
+		s.goroSignals(n)
+		s.sizeFacts(n)
+		s.lockFacts(n)
+		s.solverTouch(n)
+		s.compilesStop(n)
+	}
+}
+
+// orderedNodes returns every call-graph node in deterministic (file,
+// offset) order — the traversal order forceAll and the lock-edge gather
+// share.
+func (s *summaries) orderedNodes() []*funcNode {
 	ordered := make([]*funcNode, 0, len(s.nodes))
 	for _, n := range s.nodes {
 		ordered = append(ordered, n)
@@ -182,13 +211,7 @@ func (s *summaries) forceAll() {
 		}
 		return a.Offset < b.Offset
 	})
-	for _, n := range ordered {
-		s.blocking(n)
-		s.spanParams(n)
-		s.solverReach(n)
-		s.errOriginOf(n)
-		s.goroSignals(n)
-	}
+	return ordered
 }
 
 // unparen strips redundant parentheses.

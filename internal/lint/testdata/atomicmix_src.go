@@ -1,0 +1,30 @@
+// Fixture for the atomicmix rule: HotCounter.N is accessed through
+// sync/atomic in the ipahelp package, so a plain load here — one
+// package over — mixes disciplines and voids the atomicity guarantee.
+package cosee
+
+import (
+	"sync/atomic"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+// readPlain loads the counter without atomic.
+func readPlain(h *ipahelp.HotCounter) int64 {
+	return h.N // want: plain read of an atomically-accessed field
+}
+
+// readAtomic uses the matching atomic operation.
+func readAtomic(h *ipahelp.HotCounter) int64 {
+	return atomic.LoadInt64(&h.N) // clean: atomic access
+}
+
+// fresh initializes via a composite literal — pre-publication, exempt.
+func fresh() *ipahelp.HotCounter {
+	return &ipahelp.HotCounter{N: 1} // clean: composite-literal key
+}
+
+// allowed demonstrates the suppression escape hatch.
+func allowed(h *ipahelp.HotCounter) int64 {
+	return h.N //lint:allow atomicmix read happens before the counter is shared
+}

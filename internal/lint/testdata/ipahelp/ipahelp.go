@@ -8,6 +8,7 @@ package ipahelp
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"aeropack/internal/linalg"
 	"aeropack/internal/obs"
@@ -72,4 +73,49 @@ func Worker(wg *sync.WaitGroup, c chan int) {
 // (summary: no signals — launching it unjoined is a leak).
 func Drift(c chan int) {
 	c <- 1
+}
+
+// Alloc sizes an allocation straight from its parameter (summary: size
+// fact on param 0).
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// AllocCapped clamps before allocating (summary: no size fact).
+func AllocCapped(n int) []float64 {
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]float64, n)
+}
+
+// FillFrom allocates one slot per input point — the input's *length*
+// sizes the result (summary: size fact on param 0).
+func FillFrom(points []float64) []float64 {
+	out := make([]float64, len(points))
+	copy(out, points)
+	return out
+}
+
+// MuA and MuB are the module-visible mutexes of the lockorder fixtures.
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// UnderB runs one step under MuB (summary: acquires MuB) — the
+// acquisition the lockorder fixtures reach one package over.
+func UnderB() int {
+	MuB.Lock()
+	defer MuB.Unlock()
+	return 1
+}
+
+// HotCounter's N is only ever bumped atomically here; any plain access
+// elsewhere in the module mixes disciplines (atomicmix's fact source).
+type HotCounter struct{ N int64 }
+
+// Bump increments the counter atomically.
+func Bump(h *HotCounter) {
+	atomic.AddInt64(&h.N, 1)
 }

@@ -1,0 +1,45 @@
+// Fixture for the lockorder rule: the module-wide lock-acquisition
+// graph must be acyclic.  One direction of the cycle is hidden one call
+// deep in the ipahelp package.
+package cosee
+
+import (
+	"sync"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+var local sync.Mutex
+
+// aThenB holds MuA while the callee acquires MuB one package over
+// (edge MuA→MuB, via ipahelp.UnderB).
+func aThenB() int {
+	ipahelp.MuA.Lock()
+	defer ipahelp.MuA.Unlock()
+	return ipahelp.UnderB() // want: closes the cycle with bThenA
+}
+
+// bThenA takes the same locks in the reverse order.
+func bThenA() {
+	ipahelp.MuB.Lock()
+	ipahelp.MuA.Lock() // want: closes the cycle with aThenB
+	ipahelp.MuA.Unlock()
+	ipahelp.MuB.Unlock()
+}
+
+// ordered keeps a consistent local→MuB order: no reverse edge exists,
+// so the graph stays acyclic through here.
+func ordered() int {
+	local.Lock()
+	defer local.Unlock()
+	return ipahelp.UnderB() // clean: consistent order
+}
+
+// reenter re-acquires a mutex it already holds — an immediate
+// self-deadlock, suppressed here as the allow-directive demo.
+func reenter() {
+	local.Lock()
+	local.Lock() //lint:allow lockorder deliberate self-deadlock demo
+	local.Unlock()
+	local.Unlock()
+}

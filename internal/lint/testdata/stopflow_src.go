@@ -1,0 +1,63 @@
+// Fixture for the stopflow rule: on serve handler paths, the request's
+// compiled stop predicate must reach every iterative-solver call — a
+// budget the wire promised must actually bound the solve.
+package serve
+
+import (
+	"aeropack/internal/linalg"
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+// Budget mirrors the wire budget; stop compiles it into a predicate.
+type Budget struct{ MaxIter int }
+
+func (b *Budget) stop() func() bool {
+	n := 0
+	return func() bool { n++; return n > b.MaxIter }
+}
+
+// StudyRequest mirrors the wire request the handlers are driven by.
+type StudyRequest struct {
+	Budget *Budget
+}
+
+// goodDirect threads the compiled stop into the budgeted callee.
+func goodDirect(req *StudyRequest, a *linalg.CSR, b []float64) ([]float64, error) {
+	stop := req.Budget.stop()
+	return ipahelp.SolveBudgeted(a, b, stop) // clean: carries the stop
+}
+
+// goodParam threads its stop parameter straight through.
+func goodParam(a *linalg.CSR, b []float64, stop func() bool) ([]float64, error) {
+	return ipahelp.SolveBudgeted(a, b, stop) // clean: carries the stop
+}
+
+// badForgotten compiles the stop and then solves without it — the
+// solver call is one package over, one call deep.
+func badForgotten(req *StudyRequest, a *linalg.CSR, b []float64) ([]float64, error) {
+	stop := req.Budget.stop()
+	_ = stop
+	return ipahelp.SolveLoose(a, b) // want: without the compiled stop
+}
+
+// badNeverCompiled is in request scope but never turns the budget into
+// a stop at all.
+func badNeverCompiled(req *StudyRequest, a *linalg.CSR, b []float64) ([]float64, error) {
+	if req.Budget == nil {
+		return nil, nil
+	}
+	return ipahelp.SolveLoose(a, b) // want: never compiles the budget
+}
+
+// plainHelper is outside request scope entirely: stopflow leaves it to
+// budgetstop.
+func plainHelper(a *linalg.CSR, b []float64) ([]float64, error) {
+	return ipahelp.SolveLoose(a, b) // clean here (budgetstop's domain)
+}
+
+// allowed demonstrates the suppression escape hatch.
+func allowed(req *StudyRequest, a *linalg.CSR, b []float64) ([]float64, error) {
+	stop := req.Budget.stop()
+	_ = stop
+	return ipahelp.SolveLoose(a, b) //lint:allow stopflow preview endpoint runs unbudgeted by design
+}

@@ -1,0 +1,83 @@
+// Fixture for the taintsize rule: request-derived sizes must be
+// clamped before sizing an allocation, bounding a loop, or setting a
+// worker count.  The net/http import marks this package's json-tagged
+// structs as wire payloads.
+package serve
+
+import (
+	"flag"
+	"net/http"
+
+	"aeropack/internal/lint/testdata/ipahelp"
+)
+
+var _ = http.StatusOK
+
+var workersFlag = flag.Int("workers", 0, "worker count")
+
+// sweepReq is a wire payload: every json-tagged size-ish field is a
+// taint source until clamped.
+type sweepReq struct {
+	N      int       `json:"n"`
+	Points []float64 `json:"points"`
+	Capped int       `json:"capped"`
+}
+
+// direct sizes a make() straight from the wire.
+func direct(r *sweepReq) []float64 {
+	return make([]float64, r.N) // want: make size
+}
+
+// crossPkg hides the allocation one call deep, one package over.
+func crossPkg(r *sweepReq) []float64 {
+	return ipahelp.Alloc(r.N) // want: make size via ipahelp.Alloc
+}
+
+// sliceLen taints through the slice's length: the wire controls
+// len(Points), which sizes the callee's allocation.
+func sliceLen(r *sweepReq) []float64 {
+	return ipahelp.FillFrom(r.Points) // want: make size via ipahelp.FillFrom
+}
+
+// loopBound drives an iteration count from the wire.
+func loopBound(r *sweepReq) int {
+	s := 0
+	for i := 0; i < r.N; i++ { // want: loop bound
+		s += i
+	}
+	return s
+}
+
+// flagSized sizes an allocation from a command-line flag.
+func flagSized() []float64 {
+	return make([]float64, *workersFlag) // want: flag -workers
+}
+
+// clampedLocal bounds the value first: the if-clamp idiom.
+func clampedLocal(r *sweepReq) []float64 {
+	n := r.N
+	if n > 512 {
+		n = 512
+	}
+	return make([]float64, n) // clean: clamped above
+}
+
+// cappedCallee delegates to a callee that clamps internally, so the
+// summary carries no size fact.
+func cappedCallee(r *sweepReq) []float64 {
+	return ipahelp.AllocCapped(r.N) // clean: callee clamps
+}
+
+// validateCapped ordering-compares the field itself, which records the
+// module-wide clamped-field fact: every use of Capped is then clean.
+func validateCapped(r *sweepReq) []float64 {
+	if r.Capped > 512 {
+		return nil
+	}
+	return make([]float64, r.Capped) // clean: field clamped in validate
+}
+
+// allowed demonstrates the suppression escape hatch.
+func allowed(r *sweepReq) []float64 {
+	return make([]float64, r.N) //lint:allow taintsize trusted internal test harness
+}

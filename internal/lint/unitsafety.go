@@ -103,6 +103,7 @@ func (unitsafetyRule) Check(p *Package) []Finding {
 						Rule: "unitsafety",
 						Msg:  "inline unit-conversion literal " + lit.Value,
 						Hint: m.hint,
+						Fix:  p.fixUnitLiteral(f, lit),
 					})
 					break
 				}

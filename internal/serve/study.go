@@ -218,6 +218,16 @@ type StudyRequest struct {
 // Kinds the server accepts, in documentation order.
 var studyKinds = []string{"fig10", "sweep", "techmap", "qualification", "study"}
 
+// Wire-size caps: a request sizes the solver work and result payload by
+// its point lists, so validate() bounds them before any allocation.
+// 8k sweep points is half an hour of single-threaded solves — far past
+// any legitimate curve — and a 1k×1k techmap grid is a million screen
+// cells, two orders past the paper's 6×6 figure.
+const (
+	maxSweepPoints = 8192
+	maxGridDim     = 1000
+)
+
 // validate checks structural invariants that do not need any solver
 // work, so bad requests are rejected before admission control.  An
 // unknown kind gets its own error code (bad_kind) so clients can tell
@@ -250,12 +260,18 @@ func (r *StudyRequest) validate() *StudyError {
 		if len(r.Sweep.PowersW) == 0 {
 			return studyErr(400, CodeBadRequest, "serve: sweep needs at least one power point")
 		}
+		if len(r.Sweep.PowersW) > maxSweepPoints {
+			return studyErr(400, CodeBadRequest, "serve: sweep carries %d power points, the cap is %d", len(r.Sweep.PowersW), maxSweepPoints)
+		}
 	case "techmap":
 		if r.TechMap == nil {
 			return studyErr(400, CodeBadRequest, "serve: kind %q needs a \"techmap\" section", r.Kind)
 		}
 		if len(r.TechMap.PowersW) == 0 || len(r.TechMap.FluxesWCm2) == 0 {
 			return studyErr(400, CodeBadRequest, "serve: techmap needs non-empty powers_w and fluxes_w_cm2 grids")
+		}
+		if len(r.TechMap.PowersW) > maxGridDim || len(r.TechMap.FluxesWCm2) > maxGridDim {
+			return studyErr(400, CodeBadRequest, "serve: techmap grid axes are capped at %d points each", maxGridDim)
 		}
 	case "qualification":
 		if r.Qualification == nil {

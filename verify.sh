@@ -50,11 +50,14 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== aeropacklint (all eleven rules, interprocedural)"
+echo "== aeropacklint (all fifteen rules, interprocedural + value-flow)"
 go run ./cmd/aeropacklint -q ./...
 
 echo "== aeropacklint -audit-allows (no stale suppressions)"
 go run ./cmd/aeropacklint -q -audit-allows ./...
+
+echo "== aeropacklint -fix -dry-run (no machine-applicable fixes left unapplied)"
+go run ./cmd/aeropacklint -q -fix -dry-run ./...
 
 echo "== go build"
 go build ./...
@@ -77,6 +80,7 @@ go test -race ./internal/robust
 echo "== coverage floors"
 coverage_floor ./internal/robust 85
 coverage_floor ./internal/serve 85
+coverage_floor ./internal/lint 85
 
 echo "== solver performance guard (E5 iteration budget, parallel-vs-serial)"
 AEROPACK_SOLVER_GUARD=1 go test -run TestSolverPerfGuard -v . | grep -v '^=== '
@@ -89,6 +93,9 @@ go test -run - -bench BenchmarkLintModule -benchtime 1x ./internal/lint
 
 echo "== lint-phase benchmark smoke (BenchmarkLintPhases, 1 iteration)"
 go test -run - -bench BenchmarkLintPhases -benchtime 1x ./internal/lint
+
+echo "== value-flow benchmark smoke (BenchmarkValueFlow, 1 iteration)"
+go test -run - -bench BenchmarkValueFlow -benchtime 1x ./internal/lint
 
 echo "== flight-recorder disabled-path benchmark smoke (1 iteration)"
 go test -run - -bench 'BenchmarkRecorderDisabled|BenchmarkObsDisabledSpan' -benchtime 1x ./internal/obs
